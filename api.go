@@ -1,0 +1,575 @@
+// Package sweepsched is a Go implementation of provable parallel sweep
+// scheduling on unstructured meshes, after V.S. Anil Kumar, M.V. Marathe,
+// S. Parthasarathy, A. Srinivasan and S. Zust, "Provable Algorithms for
+// Parallel Sweep Scheduling on Unstructured Meshes" (IPDPS 2005).
+//
+// A sweep processes every cell of a mesh once per direction, respecting the
+// upwind precedence each direction induces, with every copy of a cell
+// pinned to one processor. This package exposes the full pipeline:
+//
+//	p, _ := sweepsched.NewProblemFromFamily("tetonly", 0.1, 24, 64, 1)
+//	res, _ := p.Schedule(sweepsched.RandomDelaysPriority, sweepsched.ScheduleOptions{
+//		BlockSize: 64,
+//		Seed:      7,
+//	})
+//	fmt.Println(res.Metrics.Makespan, res.Ratio, res.Metrics.C1)
+//
+// The schedulers include the paper's provable randomized algorithms
+// (Random Delay, Random Delays with Priorities, Improved Random Delay) and
+// the comparison heuristics (level, descendant, and Pautz's DFDS
+// priorities, each optionally combined with random delays). Substrates —
+// synthetic unstructured tetrahedral meshes, S_N-style direction sets, DAG
+// induction with cycle breaking, a multilevel graph partitioner, and a
+// goroutine-based message-passing executor — live in internal packages and
+// are reached through this API.
+package sweepsched
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"sweepsched/internal/core"
+	"sweepsched/internal/dag"
+	"sweepsched/internal/geom"
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/lb"
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/opt"
+	"sweepsched/internal/partition"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/simulate"
+	"sweepsched/internal/synth"
+	"sweepsched/internal/trace"
+	"sweepsched/internal/transport"
+)
+
+// coreDelays draws the Algorithm 1/2 per-direction delays.
+func coreDelays(k int, r *rng.Source) []int32 { return core.Delays(k, r) }
+
+// Scheduler names a scheduling algorithm. The zero value is invalid; use
+// the exported constants.
+type Scheduler = heuristics.Name
+
+// The available schedulers. The first three are the paper's provable
+// algorithms (§4); the rest are the §5.2 comparison heuristics.
+const (
+	RandomDelays         = heuristics.RandomDelays         // Algorithm 1
+	RandomDelaysPriority = heuristics.RandomDelaysPriority // Algorithm 2
+	ImprovedDelays       = heuristics.ImprovedDelays       // Algorithm 3 (priority form)
+	Level                = heuristics.Level
+	LevelDelays          = heuristics.LevelDelays
+	Descendant           = heuristics.Descendant
+	DescendantDelays     = heuristics.DescendantDelays
+	DFDS                 = heuristics.DFDS
+	DFDSDelays           = heuristics.DFDSDelays
+)
+
+// Schedulers lists every available scheduler in presentation order.
+func Schedulers() []Scheduler { return heuristics.AllNames() }
+
+// Vec3 is re-exported for custom direction sets.
+type Vec3 = geom.Vec3
+
+// Mesh is the cell-adjacency mesh consumed by the schedulers.
+type Mesh = mesh.Mesh
+
+// Problem is an immutable sweep-scheduling instance: a mesh, a direction
+// set with its induced DAGs, and a processor count.
+type Problem struct {
+	inst *sched.Instance
+}
+
+// MeshFamilies lists the built-in synthetic analogues of the paper's
+// meshes: tetonly, well_logging, long, prismtet.
+func MeshFamilies() []string { return mesh.FamilyNames() }
+
+// NewProblemFromFamily generates a synthetic mesh of the named family at
+// scale × its paper cell count, an S_N-style direction set with k
+// directions, and wraps them for m processors.
+func NewProblemFromFamily(family string, scale float64, k, m int, seed uint64) (*Problem, error) {
+	msh, err := mesh.Family(family, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewProblemFromMesh(msh, k, m)
+}
+
+// NewProblemFromMesh builds a problem over a caller-provided mesh with a k
+// direction S_N-style set.
+func NewProblemFromMesh(msh *Mesh, k, m int) (*Problem, error) {
+	dirs, err := quadrature.Octant(k)
+	if err != nil {
+		return nil, err
+	}
+	return NewProblemFromDirections(msh, dirs, m)
+}
+
+// NewProblemFromDirections builds a problem with explicit directions.
+func NewProblemFromDirections(msh *Mesh, dirs []Vec3, m int) (*Problem, error) {
+	inst, err := sched.NewInstance(msh, dirs, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inst: inst}, nil
+}
+
+// NonGeometricKind names a synthetic DAG-family generator for instances
+// with no underlying mesh (§2: the algorithms "are applicable even to
+// non-geometric instances").
+type NonGeometricKind string
+
+// The available non-geometric instance families.
+const (
+	// RandomChains: every direction is a Hamiltonian chain over the cells
+	// in an independent random order.
+	RandomChains NonGeometricKind = "random_chains"
+	// LayeredRandom: independent random layered DAGs of bounded width.
+	LayeredRandom NonGeometricKind = "layered_random"
+	// HeuristicTrap: chained cell groups that deterministic priority
+	// schedulers collide on unless directions are staggered.
+	HeuristicTrap NonGeometricKind = "heuristic_trap"
+)
+
+// NewProblemNonGeometric builds a mesh-free instance of the named kind with
+// n cells, k directions and m processors. Block-based ScheduleOptions are
+// rejected at Schedule time for such problems (there is no mesh to
+// partition); use BlockSize ≤ 1.
+func NewProblemNonGeometric(kind NonGeometricKind, n, k, m int, seed uint64) (*Problem, error) {
+	var (
+		dags []*dag.DAG
+		err  error
+	)
+	switch kind {
+	case RandomChains:
+		dags, err = synth.RandomChains(n, k, seed)
+	case LayeredRandom:
+		dags, err = synth.LayeredRandom(n, k, 8, seed)
+	case HeuristicTrap:
+		g := n / 10
+		if g < 1 {
+			g = 1
+		}
+		dags, err = synth.HeuristicTrap(g, 10, k, seed)
+	default:
+		return nil, fmt.Errorf("sweepsched: unknown non-geometric kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inst, err := sched.FromDAGs(dags, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inst: inst}, nil
+}
+
+// N returns the number of cells.
+func (p *Problem) N() int { return p.inst.N() }
+
+// K returns the number of directions.
+func (p *Problem) K() int { return p.inst.K() }
+
+// M returns the number of processors.
+func (p *Problem) M() int { return p.inst.M }
+
+// Tasks returns n·k, the total number of unit tasks.
+func (p *Problem) Tasks() int { return p.inst.NTasks() }
+
+// Bounds returns the lower bounds on the optimal makespan.
+func (p *Problem) Bounds() Bounds { return lb.Compute(p.inst) }
+
+// Bounds aggregates the §4 lower-bound terms (nk/m, k, D).
+type Bounds = lb.Bounds
+
+// ScheduleOptions tunes one scheduling run.
+type ScheduleOptions struct {
+	// BlockSize ≤ 1 assigns each cell to a random processor independently;
+	// larger values first partition the mesh into blocks of about this many
+	// cells (multilevel partitioner, §5.1) and randomly assign blocks.
+	BlockSize int
+	// Seed drives all random choices (delays and assignment); runs with the
+	// same seed are identical.
+	Seed uint64
+}
+
+// Result is a completed scheduling run.
+type Result struct {
+	Schedule *sched.Schedule
+	Metrics  sched.Metrics
+	// Ratio is makespan / (nk/m), the paper's empirical guarantee measure.
+	Ratio float64
+}
+
+// Schedule runs the named scheduler and measures the outcome. The returned
+// schedule is validated; an invalid schedule is reported as an error (it
+// would indicate a bug, not bad luck).
+func (p *Problem) Schedule(alg Scheduler, opts ScheduleOptions) (*Result, error) {
+	r := rng.New(opts.Seed)
+	var assign sched.Assignment
+	if opts.BlockSize <= 1 {
+		assign = sched.RandomAssignment(p.inst.N(), p.inst.M, r)
+	} else {
+		g, err := partitionGraph(p.inst)
+		if err != nil {
+			return nil, err
+		}
+		part, nBlocks, err := blocksOf(g, opts.BlockSize, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
+	}
+	s, err := heuristics.Run(alg, p.inst, assign, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sweepsched: scheduler %s produced an invalid schedule: %w", alg, err)
+	}
+	return &Result{
+		Schedule: s,
+		Metrics:  sched.Measure(s),
+		Ratio:    lb.Ratio(s.Makespan, p.inst),
+	}, nil
+}
+
+// ScheduleComm runs the named scheduler under the uniform
+// communication-delay model of §3: an edge whose endpoints sit on
+// different processors delays the successor by commDelay extra steps.
+// Only the list-scheduling algorithms support this model; the layered
+// Algorithm 1 does not (its analysis assumes c = 0), so RandomDelays is
+// rejected here.
+func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay int) (*Result, error) {
+	if alg == RandomDelays {
+		return nil, fmt.Errorf("sweepsched: %s is layer-synchronous and does not support comm delays; use %s",
+			RandomDelays, RandomDelaysPriority)
+	}
+	r := rng.New(opts.Seed)
+	var assign sched.Assignment
+	if opts.BlockSize <= 1 {
+		assign = sched.RandomAssignment(p.inst.N(), p.inst.M, r)
+	} else {
+		g, err := partitionGraph(p.inst)
+		if err != nil {
+			return nil, err
+		}
+		part, nBlocks, err := blocksOf(g, opts.BlockSize, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
+	}
+	prio, err := priorityFor(alg, p.inst, assign, r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.ListScheduleComm(p.inst, assign, prio, commDelay)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sweepsched: invalid comm schedule: %w", err)
+	}
+	if err := sched.ValidateComm(s, commDelay); err != nil {
+		return nil, fmt.Errorf("sweepsched: comm-delay constraint violated: %w", err)
+	}
+	return &Result{
+		Schedule: s,
+		Metrics:  sched.Measure(s),
+		Ratio:    lb.Ratio(s.Makespan, p.inst),
+	}, nil
+}
+
+// priorityFor derives the task priorities a scheduler would use, for the
+// comm-delay scheduling path.
+func priorityFor(alg Scheduler, inst *sched.Instance, assign sched.Assignment, r *rng.Source) (sched.Priorities, error) {
+	switch alg {
+	case RandomDelaysPriority:
+		// Γ(v,i) = level + X_i, as in Algorithm 2.
+		delays := coreDelays(inst.K(), r)
+		prio := make(sched.Priorities, inst.NTasks())
+		n := int32(inst.N())
+		for i, d := range inst.DAGs {
+			base := int32(i) * n
+			for v := int32(0); v < n; v++ {
+				prio[base+v] = int64(d.Level[v] + delays[i])
+			}
+		}
+		return prio, nil
+	case Level, LevelDelays:
+		return heuristics.LevelPriorities(inst), nil
+	case Descendant, DescendantDelays:
+		return heuristics.DescendantPriorities(inst), nil
+	case DFDS, DFDSDelays:
+		return heuristics.DFDSPriorities(inst, assign), nil
+	case ImprovedDelays:
+		level, _, err := sched.GreedySchedule(inst, nil)
+		if err != nil {
+			return nil, err
+		}
+		delays := coreDelays(inst.K(), r)
+		prio := make(sched.Priorities, inst.NTasks())
+		n := int32(inst.N())
+		for i := range inst.DAGs {
+			base := int32(i) * n
+			for v := int32(0); v < n; v++ {
+				prio[base+v] = int64(level[base+v] + delays[i])
+			}
+		}
+		return prio, nil
+	}
+	return nil, fmt.Errorf("sweepsched: unknown scheduler %s", alg)
+}
+
+// RenderGantt writes a text Gantt chart of the result's schedule.
+func (r *Result) RenderGantt(w io.Writer, maxProcs, maxCols int) error {
+	return trace.RenderGantt(w, r.Schedule, maxProcs, maxCols)
+}
+
+// Utilization returns mean processor utilization (tasks / (m·makespan)),
+// the reciprocal of the ratio to the nk/m bound.
+func (r *Result) Utilization() float64 {
+	return trace.Compute(r.Schedule).MeanUtilization
+}
+
+// CellWeights re-exports per-cell processing costs for weighted runs.
+type CellWeights = sched.CellWeights
+
+// WeightedResult is a completed weighted scheduling run.
+type WeightedResult struct {
+	Schedule *sched.WeightedSchedule
+	Makespan int64
+	// Ratio is makespan over the weighted load bound Σ k·w / m.
+	Ratio float64
+}
+
+// ScheduleWeighted runs the named scheduler with per-cell processing costs
+// (the paper's model is the all-ones special case). RandomDelays (the
+// layer-synchronous Algorithm 1) is not supported; use the priority form.
+func (p *Problem) ScheduleWeighted(alg Scheduler, opts ScheduleOptions, weights CellWeights) (*WeightedResult, error) {
+	if alg == RandomDelays {
+		return nil, fmt.Errorf("sweepsched: %s is layer-synchronous and has no weighted form; use %s",
+			RandomDelays, RandomDelaysPriority)
+	}
+	if err := weights.Validate(p.inst.N()); err != nil {
+		return nil, err
+	}
+	r := rng.New(opts.Seed)
+	var assign sched.Assignment
+	if opts.BlockSize <= 1 {
+		assign = sched.RandomAssignment(p.inst.N(), p.inst.M, r)
+	} else {
+		g, err := partitionGraph(p.inst)
+		if err != nil {
+			return nil, err
+		}
+		// Weight-aware blocks: balance work, not cell counts.
+		for v := 0; v < p.inst.N(); v++ {
+			g.VWeight[v] = weights[v]
+		}
+		part, nBlocks, err := blocksOf(g, opts.BlockSize, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
+	}
+	prio, err := priorityFor(alg, p.inst, assign, r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.ListScheduleWeighted(p.inst, assign, prio, weights)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sweepsched: invalid weighted schedule: %w", err)
+	}
+	return &WeightedResult{
+		Schedule: s,
+		Makespan: s.Makespan,
+		Ratio:    float64(s.Makespan) / sched.WeightedLoadBound(p.inst, weights),
+	}, nil
+}
+
+// LogNormalWeights draws reproducible heterogeneous cell costs: weight ≈
+// round(median · exp(sigma·N(0,1))) + 1. Useful for exercising the
+// weighted engine on realistic skewed cost distributions.
+func LogNormalWeights(n int, median, sigma float64, seed uint64) CellWeights {
+	r := rng.New(seed)
+	w := make(CellWeights, n)
+	for v := range w {
+		x := median * math.Exp(sigma*r.NormFloat64())
+		if x < 0 {
+			x = 0
+		}
+		w[v] = int32(x) + 1
+	}
+	return w
+}
+
+// ExactOptimal computes the true optimal makespan by exhaustive search
+// over assignments and schedules. It only works for tiny instances
+// (n·k ≤ 20 tasks) and errors otherwise; use it to measure real
+// approximation ratios where the paper could only compare against nk/m.
+func (p *Problem) ExactOptimal() (int, error) {
+	return opt.Exact(p.inst)
+}
+
+// TransportConfig sets the physics and iteration controls of the built-in
+// discrete-ordinates transport solver.
+type TransportConfig = transport.Config
+
+// TransportResult is a converged (or iteration-capped) transport solve.
+type TransportResult = transport.Result
+
+// SolveTransport runs the S_N transport source iteration serially, sweeping
+// the mesh in the result's schedule order. This is the application the
+// schedules exist to drive (paper §1).
+func (p *Problem) SolveTransport(res *Result, cfg TransportConfig) (*TransportResult, error) {
+	return transport.Solve(res.Schedule, cfg)
+}
+
+// SolveTransportParallel runs the same solve with one goroutine per
+// processor of the schedule, exchanging angular fluxes over channels. Its
+// result is bitwise-identical to SolveTransport.
+func (p *Problem) SolveTransportParallel(res *Result, cfg TransportConfig) (*TransportResult, error) {
+	return transport.SolveParallel(res.Schedule, cfg)
+}
+
+// MultigroupConfig couples several energy groups through downscatter; see
+// the transport package documentation.
+type MultigroupConfig = transport.MultigroupConfig
+
+// GroupSpec is one energy group's physics in a multigroup solve.
+type GroupSpec = transport.GroupSpec
+
+// MultigroupResult collects per-group fluxes and iteration counts.
+type MultigroupResult = transport.MultigroupResult
+
+// SolveMultigroup solves a downscatter-coupled multigroup transport
+// problem, reusing the result's sweep schedule for every energy group (as
+// production S_N codes do — the schedule's cost is amortized G times).
+func (p *Problem) SolveMultigroup(res *Result, cfg MultigroupConfig) (*MultigroupResult, error) {
+	return transport.SolveMultigroup(res.Schedule, cfg)
+}
+
+// Simulate executes a result's schedule on the goroutine-based
+// message-passing machine simulator and returns its independent accounting
+// (steps, total messages = C1, communication rounds = C2).
+func (p *Problem) Simulate(res *Result) (*SimulationResult, error) {
+	return simulate.Run(res.Schedule)
+}
+
+// SimulationResult reports a distributed execution.
+type SimulationResult = simulate.Result
+
+// DirectionLevels returns the number of precedence levels in each
+// direction's DAG; the maximum is the critical-path lower bound D.
+func (p *Problem) DirectionLevels() []int {
+	out := make([]int, p.inst.K())
+	for i, d := range p.inst.DAGs {
+		out[i] = d.NumLevels
+	}
+	return out
+}
+
+// BrokenCycleEdges reports how many dependence edges were discarded per
+// direction to acyclify the induced digraphs (§3 assumes broken cycles).
+func (p *Problem) BrokenCycleEdges() []int {
+	out := make([]int, p.inst.K())
+	for i, d := range p.inst.DAGs {
+		out[i] = d.RemovedEdges
+	}
+	return out
+}
+
+// GenerateFamilyMesh exposes the synthetic mesh generator directly for
+// callers that want to inspect the mesh (cmd/meshgen, examples).
+func GenerateFamilyMesh(family string, scale float64, seed uint64) (*Mesh, error) {
+	return mesh.Family(family, scale, seed)
+}
+
+// RegularGrid returns a structured nx×ny×nz hexahedral mesh, the substrate
+// for KBA-style comparisons.
+func RegularGrid(nx, ny, nz int) *Mesh { return mesh.RegularHex(nx, ny, nz) }
+
+// EncodeTrace writes the result's schedule as a plain-text trace viewable
+// with cmd/sweepview.
+func EncodeTrace(w io.Writer, r *Result) error { return sched.EncodeTrace(w, r.Schedule) }
+
+// EncodeMesh writes a tetrahedral mesh in the plain-text sweepmesh format.
+func EncodeMesh(w io.Writer, m *Mesh) error { return mesh.Encode(w, m) }
+
+// DecodeMesh reads a sweepmesh stream and rebuilds the mesh (faces,
+// normals, adjacency).
+func DecodeMesh(r io.Reader) (*Mesh, error) { return mesh.Decode(r) }
+
+// Task identifies one unit of sweep work: cell Cell processed in direction
+// Dir.
+type Task struct {
+	Cell, Dir int
+	// Start is the schedule step at which the task runs (set by
+	// ExecutionOrder).
+	Start int
+}
+
+// ExecutionOrder returns every task sorted by scheduled start step (ties by
+// direction, then cell). Processing tasks in this order is a valid
+// execution of all sweeps: each task appears after all of its upwind
+// predecessors, which is what a solver consuming the schedule needs.
+func (r *Result) ExecutionOrder() []Task {
+	inst := r.Schedule.Inst
+	tasks := make([]Task, inst.NTasks())
+	for t := range tasks {
+		v, i := inst.Split(sched.TaskID(t))
+		tasks[t] = Task{Cell: int(v), Dir: int(i), Start: int(r.Schedule.Start[t])}
+	}
+	sort.Slice(tasks, func(a, b int) bool {
+		ta, tb := tasks[a], tasks[b]
+		if ta.Start != tb.Start {
+			return ta.Start < tb.Start
+		}
+		if ta.Dir != tb.Dir {
+			return ta.Dir < tb.Dir
+		}
+		return ta.Cell < tb.Cell
+	})
+	return tasks
+}
+
+// Upwind returns the cells immediately upwind of cell in the given
+// direction — the predecessors whose angular flux a transport solver needs
+// before solving this cell. The returned slice aliases internal storage and
+// must not be modified.
+func (p *Problem) Upwind(cell, dir int) []int32 {
+	return p.inst.DAGs[dir].In(int32(cell))
+}
+
+// Downwind returns the cells immediately downwind of cell in the given
+// direction. The returned slice aliases internal storage and must not be
+// modified.
+func (p *Problem) Downwind(cell, dir int) []int32 {
+	return p.inst.DAGs[dir].Out(int32(cell))
+}
+
+// Processor returns the processor a result assigned to the given cell.
+func (r *Result) Processor(cell int) int { return int(r.Schedule.Assign[cell]) }
+
+// partitionGraph builds the cell-adjacency graph of the problem's mesh for
+// block partitioning. Mesh-free (non-geometric) problems cannot be block
+// partitioned.
+func partitionGraph(inst *sched.Instance) (*partition.Graph, error) {
+	if inst.Mesh == nil {
+		return nil, fmt.Errorf("sweepsched: block partitioning requires a mesh; this problem is non-geometric (use BlockSize <= 1)")
+	}
+	return partition.FromMesh(inst.Mesh), nil
+}
+
+// blocksOf wraps the multilevel partitioner's block decomposition.
+func blocksOf(g *partition.Graph, blockSize int, seed uint64) ([]int32, int, error) {
+	return partition.Blocks(g, blockSize, seed)
+}

@@ -1,0 +1,134 @@
+package sweepsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleCommBasic(t *testing.T) {
+	p, err := NewProblemFromFamily("tetonly", 0.01, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := p.ScheduleComm(RandomDelaysPriority, ScheduleOptions{Seed: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := p.ScheduleComm(RandomDelaysPriority, ScheduleOptions{Seed: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.Metrics.Makespan < zero.Metrics.Makespan {
+		t.Fatalf("c=4 makespan %d below c=0 makespan %d",
+			delayed.Metrics.Makespan, zero.Metrics.Makespan)
+	}
+}
+
+func TestScheduleCommRejectsLayered(t *testing.T) {
+	p, err := NewProblemFromFamily("tetonly", 0.01, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ScheduleComm(RandomDelays, ScheduleOptions{}, 1); err == nil {
+		t.Fatal("layered algorithm accepted comm delays")
+	}
+}
+
+func TestScheduleCommAllListSchedulers(t *testing.T) {
+	p, err := NewProblemFromFamily("long", 0.01, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Schedulers() {
+		if alg == RandomDelays {
+			continue
+		}
+		res, err := p.ScheduleComm(alg, ScheduleOptions{Seed: 3, BlockSize: 8}, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Metrics.Makespan <= 0 {
+			t.Fatalf("%s: empty schedule", alg)
+		}
+	}
+}
+
+func TestScheduleCommUnknownScheduler(t *testing.T) {
+	p, err := NewProblemFromFamily("tetonly", 0.01, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ScheduleComm(Scheduler("bogus"), ScheduleOptions{}, 1); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestResultGanttAndUtilization(t *testing.T) {
+	_, res := tinyProblem(t, RandomDelaysPriority)
+	var b strings.Builder
+	if err := res.RenderGantt(&b, 4, 30); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gantt:") {
+		t.Fatalf("gantt output missing header:\n%s", b.String())
+	}
+	u := res.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %v", u)
+	}
+	// Utilization must be the reciprocal of the ratio.
+	if diff := u*res.Ratio - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("utilization %v not reciprocal of ratio %v", u, res.Ratio)
+	}
+}
+
+func TestExecutionOrderTopological(t *testing.T) {
+	p, res := tinyProblem(t, Level)
+	order := res.ExecutionOrder()
+	if len(order) != p.Tasks() {
+		t.Fatalf("order covers %d of %d tasks", len(order), p.Tasks())
+	}
+	pos := make(map[[2]int]int, len(order))
+	for idx, task := range order {
+		pos[[2]int{task.Cell, task.Dir}] = idx
+	}
+	for dir := 0; dir < p.K(); dir++ {
+		for cell := 0; cell < p.N(); cell++ {
+			for _, u := range p.Upwind(cell, dir) {
+				if pos[[2]int{int(u), dir}] >= pos[[2]int{cell, dir}] {
+					t.Fatalf("execution order violates upwind edge %d->%d in dir %d", u, cell, dir)
+				}
+			}
+		}
+	}
+}
+
+func TestUpwindDownwindMirror(t *testing.T) {
+	p, _ := tinyProblem(t, Level)
+	for dir := 0; dir < p.K(); dir++ {
+		for cell := 0; cell < p.N(); cell++ {
+			for _, d := range p.Downwind(cell, dir) {
+				found := false
+				for _, u := range p.Upwind(int(d), dir) {
+					if int(u) == cell {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("downwind edge %d->%d not mirrored upwind (dir %d)", cell, d, dir)
+				}
+			}
+		}
+	}
+}
+
+func TestProcessorMatchesAssignment(t *testing.T) {
+	p, res := tinyProblem(t, Level)
+	for cell := 0; cell < p.N(); cell++ {
+		pr := res.Processor(cell)
+		if pr < 0 || pr >= p.M() {
+			t.Fatalf("cell %d on processor %d", cell, pr)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package sweepsched
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSolveTransportFacade(t *testing.T) {
+	p, res := tinyProblem(t, RandomDelaysPriority)
+	cfg := TransportConfig{SigmaT: 1, SigmaS: 0.5, Source: 1}
+	serial, err := p.SolveTransport(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Converged {
+		t.Fatalf("not converged: %+v", serial)
+	}
+	par, err := p.SolveTransportParallel(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range serial.Phi {
+		if serial.Phi[v] != par.Phi[v] {
+			t.Fatalf("cell %d: serial %v != parallel %v", v, serial.Phi[v], par.Phi[v])
+		}
+	}
+}
+
+func TestSolveMultigroupFacade(t *testing.T) {
+	p, res := tinyProblem(t, RandomDelaysPriority)
+	mg, err := p.SolveMultigroup(res, MultigroupConfig{
+		Groups: []GroupSpec{
+			{SigmaT: 1.0, Source: 1.0},
+			{SigmaT: 0.9, Source: 0.1},
+		},
+		Scatter: [][]float64{
+			{0.2, 0.3},
+			{0, 0.4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Converged || len(mg.Phi) != 2 {
+		t.Fatalf("multigroup result: converged=%v groups=%d", mg.Converged, len(mg.Phi))
+	}
+	for g := range mg.Phi {
+		for v, f := range mg.Phi[g] {
+			if f <= 0 {
+				t.Fatalf("group %d cell %d flux %v", g, v, f)
+			}
+		}
+	}
+}
+
+func TestEncodeTraceFacade(t *testing.T) {
+	_, res := tinyProblem(t, Level)
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestSolveTransportBadConfig(t *testing.T) {
+	p, res := tinyProblem(t, Level)
+	if _, err := p.SolveTransport(res, TransportConfig{SigmaT: 1, SigmaS: 2, Source: 1}); err == nil {
+		t.Fatal("supercritical scattering accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package sweepsched
+
+import "testing"
+
+func TestScheduleWeightedFacade(t *testing.T) {
+	p, err := NewProblemFromFamily("tetonly", 0.01, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make(CellWeights, p.N())
+	for v := range weights {
+		weights[v] = int32(v%5) + 1
+	}
+	res, err := p.ScheduleWeighted(RandomDelaysPriority, ScheduleOptions{Seed: 2}, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 1 {
+		t.Fatalf("weighted ratio %v below 1", res.Ratio)
+	}
+	// Block variant (weight-aware partitioning).
+	res2, err := p.ScheduleWeighted(Level, ScheduleOptions{Seed: 2, BlockSize: 16}, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Makespan <= 0 {
+		t.Fatal("empty weighted schedule")
+	}
+}
+
+func TestLogNormalWeights(t *testing.T) {
+	w := LogNormalWeights(5000, 4, 0.75, 9)
+	if err := w.Validate(5000); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	distinct := map[int32]bool{}
+	for _, x := range w {
+		sum += int64(x)
+		distinct[x] = true
+	}
+	mean := float64(sum) / 5000
+	// Log-normal with median 4, sigma 0.75: mean ≈ 4·exp(0.75²/2)+1 ≈ 6.3.
+	if mean < 4 || mean > 9 {
+		t.Fatalf("mean weight %v outside plausible range", mean)
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("only %d distinct weights; distribution collapsed", len(distinct))
+	}
+	// Deterministic per seed.
+	again := LogNormalWeights(5000, 4, 0.75, 9)
+	for i := range w {
+		if w[i] != again[i] {
+			t.Fatalf("weights nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestScheduleWeightedRejects(t *testing.T) {
+	p, err := NewProblemFromFamily("tetonly", 0.01, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make(CellWeights, p.N())
+	for v := range weights {
+		weights[v] = 1
+	}
+	if _, err := p.ScheduleWeighted(RandomDelays, ScheduleOptions{}, weights); err == nil {
+		t.Fatal("layered algorithm accepted weights")
+	}
+	if _, err := p.ScheduleWeighted(Level, ScheduleOptions{}, weights[:1]); err == nil {
+		t.Fatal("short weights accepted")
+	}
+}
+
+func TestScheduleWeightedUnitMatchesUnweightedMakespan(t *testing.T) {
+	p, err := NewProblemFromFamily("long", 0.01, 8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := p.Schedule(Level, ScheduleOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make(CellWeights, p.N())
+	for v := range ones {
+		ones[v] = 1
+	}
+	weighted, err := p.ScheduleWeighted(Level, ScheduleOptions{Seed: 9}, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Makespan != int64(unit.Metrics.Makespan) {
+		t.Fatalf("unit weighted makespan %d != unweighted %d",
+			weighted.Makespan, unit.Metrics.Makespan)
+	}
+}

@@ -1,0 +1,101 @@
+// Command sweepbench regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	sweepbench -exp fig2a                 # one experiment
+//	sweepbench -exp all                   # everything
+//	sweepbench -exp speedup -scale 1.0    # paper-size meshes (slow)
+//	sweepbench -list                      # available experiment ids
+//
+// Output is a text table per experiment, with the same rows/series as the
+// corresponding figure. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sweepsched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id, or 'all'")
+		scale   = flag.Float64("scale", 0.05, "mesh scale relative to paper cell counts (1.0 = paper size)")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		trials  = flag.Int("trials", 3, "trials per randomized configuration")
+		procs   = flag.String("procs", "2,8,32,128,512", "comma-separated processor counts")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csv     = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		workers = flag.Int("workers", 0, "parallel experiment rows (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	procList, err := parseProcs(*procs)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{
+		Scale:   *scale,
+		Seed:    *seed,
+		Trials:  *trials,
+		Procs:   procList,
+		Out:     os.Stdout,
+		CSV:     *csv,
+		Workers: *workers,
+	}
+
+	names := []string{*exp}
+	switch *exp {
+	case "all":
+		names = experiments.Names()
+	case "paper":
+		// Just the artifacts the paper itself plots or states.
+		names = []string{"fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c",
+			"speedup", "guarantee", "blocks"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := experiments.Run(name, cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("# %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad processor count %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no processor counts in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepbench:", err)
+	os.Exit(1)
+}

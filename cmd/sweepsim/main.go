@@ -1,0 +1,125 @@
+// Command sweepsim runs one scheduler on one instance, prints the metrics,
+// and optionally replays the schedule on the goroutine-based
+// message-passing simulator as an independent feasibility check.
+//
+// Usage:
+//
+//	sweepsim -mesh tetonly -k 24 -m 64 -alg random_delays_priority -block 64
+//	sweepsim -mesh long -k 8 -m 16 -alg dfds -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sweepsched"
+)
+
+func main() {
+	var (
+		meshName  = flag.String("mesh", "tetonly", "mesh family")
+		meshFile  = flag.String("meshfile", "", "load a sweepmesh file instead of generating -mesh")
+		scale     = flag.Float64("scale", 0.05, "mesh scale relative to paper size")
+		k         = flag.Int("k", 24, "number of sweep directions")
+		m         = flag.Int("m", 64, "number of processors")
+		alg       = flag.String("alg", string(sweepsched.RandomDelaysPriority), "scheduler name")
+		block     = flag.Int("block", 1, "block size (1 = per-cell random assignment)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		sim       = flag.Bool("simulate", false, "replay on the message-passing simulator")
+		gantt     = flag.Bool("gantt", false, "print a text Gantt chart of the schedule")
+		commC     = flag.Int("c", 0, "uniform communication delay (steps per cross-processor edge)")
+		saveTrace = flag.String("savetrace", "", "write the schedule trace to this path (view with sweepview)")
+		weighted  = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
+	)
+	flag.Parse()
+
+	var (
+		p   *sweepsched.Problem
+		err error
+	)
+	if *meshFile != "" {
+		f, ferr := os.Open(*meshFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		msh, derr := sweepsched.DecodeMesh(f)
+		f.Close()
+		if derr != nil {
+			fatal(derr)
+		}
+		*meshName = msh.Name
+		p, err = sweepsched.NewProblemFromMesh(msh, *k, *m)
+	} else {
+		p, err = sweepsched.NewProblemFromFamily(*meshName, *scale, *k, *m, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	bounds := p.Bounds()
+	fmt.Printf("instance: mesh=%s n=%d k=%d m=%d tasks=%d\n", *meshName, p.N(), p.K(), p.M(), p.Tasks())
+	fmt.Printf("lower bounds: nk/m=%.1f k=%d D=%d (max %d)\n",
+		bounds.Load, bounds.PerCell, bounds.CriticalPath, bounds.Max())
+
+	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed}
+
+	if *weighted {
+		weights := sweepsched.LogNormalWeights(p.N(), 4, 0.75, *seed^0x57)
+		wres, err := p.ScheduleWeighted(sweepsched.Scheduler(*alg), opts, weights)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("weighted scheduler %s (block=%d, log-normal costs):\n", *alg, *block)
+		fmt.Printf("  makespan = %d  (ratio to weighted load bound: %.3f)\n", wres.Makespan, wres.Ratio)
+		return
+	}
+
+	var res *sweepsched.Result
+	if *commC > 0 {
+		res, err = p.ScheduleComm(sweepsched.Scheduler(*alg), opts, *commC)
+	} else {
+		res, err = p.Schedule(sweepsched.Scheduler(*alg), opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scheduler %s (block=%d, c=%d):\n", *alg, *block, *commC)
+	fmt.Printf("  makespan = %d  (ratio to nk/m: %.3f, utilization %.1f%%)\n",
+		res.Metrics.Makespan, res.Ratio, 100*res.Utilization())
+	fmt.Printf("  C1 (interprocessor edges) = %d\n", res.Metrics.C1)
+	fmt.Printf("  C2 (comm rounds)          = %d\n", res.Metrics.C2)
+
+	if *gantt {
+		if err := res.RenderGantt(os.Stdout, 16, 100); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sweepsched.EncodeTrace(f, res); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *saveTrace)
+	}
+
+	if *sim {
+		sr, err := p.Simulate(res)
+		if err != nil {
+			fatal(fmt.Errorf("simulation rejected the schedule: %w", err))
+		}
+		fmt.Printf("simulator: steps=%d messages=%d rounds=%d — schedule is feasible under message passing\n",
+			sr.Steps, sr.TotalMessages, sr.CommRounds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command sweepview renders a saved schedule trace (see cmd/sweepsim
+// -savetrace): execution profile, per-processor utilization histogram, and
+// a text Gantt chart.
+//
+// Usage:
+//
+//	sweepsim -mesh tetonly -k 8 -m 8 -savetrace /tmp/s.trace
+//	sweepview /tmp/s.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sweepsched/internal/sched"
+	"sweepsched/internal/trace"
+)
+
+func main() {
+	var (
+		procs = flag.Int("procs", 16, "max processors to draw in the Gantt chart")
+		cols  = flag.Int("cols", 100, "max Gantt columns (timesteps are downsampled)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sweepview [flags] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	s, err := sched.DecodeTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	p := trace.Compute(s)
+	fmt.Printf("schedule: %d tasks on %d processors, makespan %d\n", p.Tasks, p.Processors, p.Makespan)
+	fmt.Printf("mean utilization %.1f%%, peak parallelism %d, idle slots %d\n",
+		100*p.MeanUtilization, p.PeakParallelism, p.IdleSteps)
+
+	hist := trace.UtilizationHistogram(s)
+	fmt.Println("utilization histogram (processors per decile):")
+	for b, c := range hist {
+		if c == 0 {
+			continue
+		}
+		fmt.Printf("  %3d-%3d%%: %d\n", b*10, b*10+10, c)
+	}
+
+	if err := trace.RenderGantt(os.Stdout, s, *procs, *cols); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Scaling: reproduce the paper's headline scaling observation interactively
+// — the makespan of "Random Delays with Priorities" stays within 3·nk/m as
+// the processor count grows (linear speedup), while plain "Random Delays"
+// degrades at high processor counts (Figure 2(c)). Run with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sweepsched"
+)
+
+func main() {
+	const k = 24
+	p1, err := sweepsched.NewProblemFromFamily("long", 0.05, k, 1, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh long: n=%d cells, k=%d directions (nk = %d tasks), critical path D=%d\n",
+		p1.N(), k, p1.Tasks(), p1.Bounds().CriticalPath)
+	fmt.Println("(ratio* uses the stronger bound max(nk/m, k, D); once nk/m falls to D the")
+	fmt.Println(" load bound stops binding — the paper's meshes are 20x larger, so its nk/m")
+	fmt.Println(" stays binding through 512 processors)")
+	fmt.Println()
+	fmt.Printf("%6s  %10s  %12s %8s  %12s %8s %8s  %9s\n",
+		"m", "lb=nk/m", "rd_makespan", "rd_ratio", "rdp_makespan", "rdp_ratio", "ratio*", "speedup")
+
+	serial := 0
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		p, err := sweepsched.NewProblemFromFamily("long", 0.05, k, m, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rd, err := p.Schedule(sweepsched.RandomDelays, sweepsched.ScheduleOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rdp, err := p.Schedule(sweepsched.RandomDelaysPriority, sweepsched.ScheduleOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m == 1 {
+			serial = rdp.Metrics.Makespan
+		}
+		lb := float64(p.Tasks()) / float64(m)
+		strong := float64(rdp.Metrics.Makespan) / float64(p.Bounds().Max())
+		fmt.Printf("%6d  %10.1f  %12d %8.3f  %12d %8.3f %8.3f  %8.1fx\n",
+			m, lb,
+			rd.Metrics.Makespan, rd.Ratio,
+			rdp.Metrics.Makespan, rdp.Ratio, strong,
+			float64(serial)/float64(rdp.Metrics.Makespan))
+	}
+	fmt.Println("\npaper §5.1: makespan was always at most 3·nk/m, i.e. linear speedup;")
+	fmt.Println("priorities beat the layered algorithm increasingly with m (up to 4x).")
+}

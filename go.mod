@@ -1,0 +1,3 @@
+module sweepsched
+
+go 1.22

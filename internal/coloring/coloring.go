@@ -1,0 +1,225 @@
+// Package coloring provides edge coloring of communication graphs. The
+// paper's C2 model charges, per computation step, the maximum number of
+// messages any processor must send; actually delivering those messages in
+// that many rounds without port contention requires an edge coloring of the
+// step's processor-to-processor multigraph (paper ref [11], Marathe,
+// Panconesi & Risinger). We implement the classic Misra-Gries-flavoured
+// greedy that colors a multigraph with at most 2Δ−1 colors, plus a simple
+// round-robin distributed variant, and use them to bound realized
+// communication rounds.
+package coloring
+
+import (
+	"fmt"
+
+	"sweepsched/internal/rng"
+)
+
+// Edge is a directed message between two processors; coloring treats it as
+// an undirected port conflict (a processor can use one port per round for
+// either send or receive).
+type Edge struct {
+	From, To int32
+}
+
+// Greedy colors the edges so that no two edges sharing an endpoint get the
+// same color. It returns one color per edge (0-based) and the number of
+// colors used, which is at most 2Δ−1 for maximum degree Δ.
+func Greedy(m int, edges []Edge) ([]int32, int, error) {
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= m || e.To < 0 || int(e.To) >= m {
+			return nil, 0, fmt.Errorf("coloring: endpoint out of range in edge %+v (m=%d)", e, m)
+		}
+		if e.From == e.To {
+			return nil, 0, fmt.Errorf("coloring: self-message %+v", e)
+		}
+	}
+	// used[p] tracks colors taken at endpoint p as a bitmap grown on demand.
+	used := make([][]bool, m)
+	colors := make([]int32, len(edges))
+	maxColor := 0
+	for i, e := range edges {
+		uf, ut := used[e.From], used[e.To]
+		c := 0
+		for {
+			free := true
+			if c < len(uf) && uf[c] {
+				free = false
+			}
+			if free && c < len(ut) && ut[c] {
+				free = false
+			}
+			if free {
+				break
+			}
+			c++
+		}
+		colors[i] = int32(c)
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+		for _, p := range []int32{e.From, e.To} {
+			for len(used[p]) <= c {
+				used[p] = append(used[p], false)
+			}
+			used[p][c] = true
+		}
+	}
+	return colors, maxColor, nil
+}
+
+// Degrees returns the per-processor degree (send + receive) of the message
+// multigraph and its maximum.
+func Degrees(m int, edges []Edge) (deg []int32, max int32) {
+	deg = make([]int32, m)
+	for _, e := range edges {
+		deg[e.From]++
+		deg[e.To]++
+		if deg[e.From] > max {
+			max = deg[e.From]
+		}
+		if deg[e.To] > max {
+			max = deg[e.To]
+		}
+	}
+	return deg, max
+}
+
+// Distributed colors the edges with the simple synchronous randomized
+// algorithm the paper cites for realizing C2 rounds ([11], Marathe,
+// Panconesi & Risinger): in each round, every uncolored edge tentatively
+// picks a uniformly random color from its current palette {0..Δ̂-1} minus
+// the colors already fixed at its endpoints; an edge keeps the color only
+// if no adjacent edge picked the same color this round. With palette size
+// (1+ε)Δ the algorithm terminates in O(log n) rounds with high
+// probability. It returns the coloring, the number of colors used, and the
+// number of rounds taken.
+func Distributed(m int, edges []Edge, seed uint64, epsilon float64) ([]int32, int, int, error) {
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= m || e.To < 0 || int(e.To) >= m {
+			return nil, 0, 0, fmt.Errorf("coloring: endpoint out of range in edge %+v (m=%d)", e, m)
+		}
+		if e.From == e.To {
+			return nil, 0, 0, fmt.Errorf("coloring: self-message %+v", e)
+		}
+	}
+	if epsilon < 0 {
+		return nil, 0, 0, fmt.Errorf("coloring: negative epsilon %v", epsilon)
+	}
+	_, maxDeg := Degrees(m, edges)
+	palette := int(float64(maxDeg)*(1+epsilon)) + 1
+	if palette < 2 {
+		palette = 2
+	}
+
+	colors := make([]int32, len(edges))
+	for i := range colors {
+		colors[i] = -1
+	}
+	// fixed[p] marks colors already permanently taken at endpoint p.
+	fixed := make([][]bool, m)
+	for p := range fixed {
+		fixed[p] = make([]bool, palette)
+	}
+	r := rng.New(seed)
+	tentative := make([]int32, len(edges))
+	remaining := len(edges)
+	rounds := 0
+	// Failsafe: the (1+ε)Δ palette suffices whp on simple graphs, but a
+	// port multigraph can need up to 2Δ−1 colors; widening the palette
+	// every few stuck rounds keeps the algorithm total on any input.
+	for remaining > 0 {
+		rounds++
+		if rounds%8 == 0 {
+			palette++
+			for p := range fixed {
+				fixed[p] = append(fixed[p], false)
+			}
+		}
+		// Tentative picks.
+		for i, e := range edges {
+			if colors[i] != -1 {
+				continue
+			}
+			c := int32(-1)
+			// Rejection-sample an available color; available palette is
+			// nonempty because palette > deg at both endpoints.
+			for tries := 0; tries < 4*palette; tries++ {
+				cand := int32(r.Intn(palette))
+				if !fixed[e.From][cand] && !fixed[e.To][cand] {
+					c = cand
+					break
+				}
+			}
+			if c == -1 {
+				// Scan as a fallback (extremely rare).
+				for cand := 0; cand < palette; cand++ {
+					if !fixed[e.From][cand] && !fixed[e.To][cand] {
+						c = int32(cand)
+						break
+					}
+				}
+				if c == -1 {
+					// Saturated endpoints; widen the palette next round.
+					tentative[i] = -1
+					continue
+				}
+			}
+			tentative[i] = c
+		}
+		// Conflict detection: a pick survives if unique at both endpoints
+		// this round.
+		type slot struct {
+			p int32
+			c int32
+		}
+		claims := map[slot]int{}
+		for i, e := range edges {
+			if colors[i] != -1 || tentative[i] == -1 {
+				continue
+			}
+			claims[slot{e.From, tentative[i]}]++
+			claims[slot{e.To, tentative[i]}]++
+		}
+		for i, e := range edges {
+			if colors[i] != -1 || tentative[i] == -1 {
+				continue
+			}
+			if claims[slot{e.From, tentative[i]}] == 1 && claims[slot{e.To, tentative[i]}] == 1 {
+				colors[i] = tentative[i]
+				fixed[e.From][tentative[i]] = true
+				fixed[e.To][tentative[i]] = true
+				remaining--
+			}
+		}
+	}
+	maxColor := 0
+	for _, c := range colors {
+		if int(c)+1 > maxColor {
+			maxColor = int(c) + 1
+		}
+	}
+	return colors, maxColor, rounds, nil
+}
+
+// Validate checks that the coloring is proper.
+func Validate(edges []Edge, colors []int32) error {
+	if len(edges) != len(colors) {
+		return fmt.Errorf("coloring: %d colors for %d edges", len(colors), len(edges))
+	}
+	type slot struct {
+		p int32
+		c int32
+	}
+	seen := map[slot]int{}
+	for i, e := range edges {
+		for _, p := range []int32{e.From, e.To} {
+			key := slot{p, colors[i]}
+			if j, ok := seen[key]; ok {
+				return fmt.Errorf("coloring: edges %d and %d share endpoint %d and color %d", j, i, p, colors[i])
+			}
+			seen[key] = i
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package coloring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sweepsched/internal/rng"
+)
+
+func TestGreedySimple(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}}
+	colors, n, err := Greedy(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(edges, colors); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // a triangle needs 3 colors
+		t.Fatalf("triangle colored with %d colors, want 3", n)
+	}
+}
+
+func TestGreedyStar(t *testing.T) {
+	// Star: center 0 with 5 leaves; needs exactly 5 colors (Δ = 5).
+	edges := []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}
+	colors, n, err := Greedy(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(edges, colors); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("star colored with %d colors, want 5", n)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	if _, _, err := Greedy(2, []Edge{{0, 2}}); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, _, err := Greedy(2, []Edge{{1, 1}}); err == nil {
+		t.Fatal("self-message accepted")
+	}
+}
+
+func TestGreedyWithinTwoDeltaMinusOne(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		m := 8
+		var edges []Edge
+		for i := 0; i < 40; i++ {
+			a, b := int32(r.Intn(m)), int32(r.Intn(m))
+			if a == b {
+				continue
+			}
+			edges = append(edges, Edge{a, b})
+		}
+		colors, n, err := Greedy(m, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(edges, colors); err != nil {
+			t.Fatal(err)
+		}
+		_, maxDeg := Degrees(m, edges)
+		if n > int(2*maxDeg-1) {
+			t.Fatalf("%d colors exceeds 2Δ-1 = %d", n, 2*maxDeg-1)
+		}
+		if n < int(maxDeg) {
+			t.Fatalf("%d colors below Δ = %d (impossible)", n, maxDeg)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	deg, max := Degrees(3, []Edge{{0, 1}, {0, 2}, {1, 2}})
+	if deg[0] != 2 || deg[1] != 2 || deg[2] != 2 || max != 2 {
+		t.Fatalf("deg = %v max = %d", deg, max)
+	}
+}
+
+func TestValidateCatchesConflict(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}}
+	if err := Validate(edges, []int32{0, 0}); err == nil {
+		t.Fatal("conflicting coloring accepted")
+	}
+	if err := Validate(edges, []int32{0}); err == nil {
+		t.Fatal("short coloring accepted")
+	}
+}
+
+func TestDistributedProper(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 10; trial++ {
+		m := 10
+		var edges []Edge
+		for i := 0; i < 60; i++ {
+			a, b := int32(r.Intn(m)), int32(r.Intn(m))
+			if a == b {
+				continue
+			}
+			edges = append(edges, Edge{a, b})
+		}
+		colors, nColors, rounds, err := Distributed(m, edges, uint64(trial), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(edges, colors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, maxDeg := Degrees(m, edges)
+		if nColors < int(maxDeg) {
+			t.Fatalf("trial %d: %d colors below Δ=%d", trial, nColors, maxDeg)
+		}
+		if rounds <= 0 || rounds > 200 {
+			t.Fatalf("trial %d: %d rounds", trial, rounds)
+		}
+	}
+}
+
+func TestDistributedDeterministicPerSeed(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}
+	c1, n1, r1, err := Distributed(4, edges, 42, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, n2, r2, err := Distributed(4, edges, 42, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 || r1 != r2 {
+		t.Fatalf("seeded runs differ: (%d,%d) vs (%d,%d)", n1, r1, n2, r2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("color %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestDistributedErrors(t *testing.T) {
+	if _, _, _, err := Distributed(2, []Edge{{0, 5}}, 1, 0.1); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+	if _, _, _, err := Distributed(2, []Edge{{0, 0}}, 1, 0.1); err == nil {
+		t.Fatal("self-message accepted")
+	}
+	if _, _, _, err := Distributed(2, []Edge{{0, 1}}, 1, -1); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestDistributedEmptyAndParallelEdges(t *testing.T) {
+	colors, n, rounds, err := Distributed(3, nil, 1, 0.2)
+	if err != nil || len(colors) != 0 || n != 0 || rounds != 0 {
+		t.Fatalf("empty edges: %v %v %v %v", colors, n, rounds, err)
+	}
+	// Parallel edges must receive distinct colors.
+	edges := []Edge{{0, 1}, {0, 1}, {1, 0}}
+	colors, _, _, err = Distributed(2, edges, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(edges, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGreedyAlwaysProper(t *testing.T) {
+	f := func(seed uint64, nEdges uint8) bool {
+		r := rng.New(seed)
+		m := 6
+		edges := make([]Edge, 0, nEdges)
+		for i := 0; i < int(nEdges%60); i++ {
+			a, b := int32(r.Intn(m)), int32(r.Intn(m))
+			if a == b {
+				continue
+			}
+			edges = append(edges, Edge{a, b})
+		}
+		colors, _, err := Greedy(m, edges)
+		if err != nil {
+			return false
+		}
+		return Validate(edges, colors) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

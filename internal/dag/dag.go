@@ -1,0 +1,544 @@
+// Package dag builds and analyzes the per-direction sweep dependence graphs
+// (§3 of the paper). For a mesh and a sweep direction, every interior face
+// whose normal has a positive component along the direction induces an edge
+// from its upwind cell to its downwind cell. The induced digraph is made
+// acyclic by removing back edges (the paper likewise assumes cycles are
+// broken), then layered into levels: L_1 is the set of sources, L_{j} the
+// sources remaining after L_1..L_{j-1} are deleted. Levels equal
+// longest-path depth from a source, and the number of levels is the critical
+// path length in unit tasks.
+package dag
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"sweepsched/internal/geom"
+	"sweepsched/internal/mesh"
+)
+
+// DAG is one direction's precedence graph over mesh cells in CSR form (both
+// out- and in-adjacency), with topological levels precomputed.
+type DAG struct {
+	N int // number of cells
+
+	outStart []int32
+	out      []int32
+	inStart  []int32
+	in       []int32
+
+	// Level[v] is the 1-based topological level of cell v; NumLevels is the
+	// maximum (the critical path length in unit tasks).
+	Level     []int32
+	NumLevels int
+
+	// RemovedEdges counts edges dropped to break cycles.
+	RemovedEdges int
+}
+
+// Out returns v's successors. The slice aliases internal storage.
+func (d *DAG) Out(v int32) []int32 { return d.out[d.outStart[v]:d.outStart[v+1]] }
+
+// In returns v's predecessors. The slice aliases internal storage.
+func (d *DAG) In(v int32) []int32 { return d.in[d.inStart[v]:d.inStart[v+1]] }
+
+// OutDegree returns the number of successors of v.
+func (d *DAG) OutDegree(v int32) int { return int(d.outStart[v+1] - d.outStart[v]) }
+
+// InDegree returns the number of predecessors of v.
+func (d *DAG) InDegree(v int32) int { return int(d.inStart[v+1] - d.inStart[v]) }
+
+// NumEdges returns the number of (surviving) edges.
+func (d *DAG) NumEdges() int { return len(d.out) }
+
+// Eps is the face-normal/direction alignment threshold below which a face is
+// treated as parallel to the sweep (no dependence across it).
+const Eps = 1e-9
+
+// Build induces the DAG for one direction. Cycles, which arise on
+// unstructured meshes, are broken by discarding DFS back edges.
+func Build(m *mesh.Mesh, dir geom.Vec3) *DAG {
+	n := m.NCells()
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, m.NInteriorFaces())
+	for i := range m.Faces {
+		f := &m.Faces[i]
+		if f.C1 == mesh.NoCell {
+			continue
+		}
+		dot := f.Normal.Dot(dir)
+		switch {
+		case dot > Eps:
+			edges = append(edges, edge{f.C0, f.C1})
+		case dot < -Eps:
+			edges = append(edges, edge{f.C1, f.C0})
+		}
+	}
+
+	d := &DAG{N: n}
+	buildCSR := func() {
+		d.outStart = make([]int32, n+1)
+		for _, e := range edges {
+			d.outStart[e.u+1]++
+		}
+		for i := 0; i < n; i++ {
+			d.outStart[i+1] += d.outStart[i]
+		}
+		d.out = make([]int32, len(edges))
+		cursor := make([]int32, n)
+		for _, e := range edges {
+			d.out[d.outStart[e.u]+cursor[e.u]] = e.v
+			cursor[e.u]++
+		}
+	}
+	buildCSR()
+
+	if removed := d.breakCycles(); removed > 0 {
+		d.RemovedEdges = removed
+		// Compact the out lists: breakCycles marks removed targets as -1.
+		kept := edges[:0]
+		for u := int32(0); u < int32(n); u++ {
+			for _, v := range d.Out(u) {
+				if v >= 0 {
+					kept = append(kept, edge{u, v})
+				}
+			}
+		}
+		edges = kept
+		buildCSR()
+	}
+
+	// In-adjacency.
+	d.inStart = make([]int32, n+1)
+	for _, v := range d.out {
+		d.inStart[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		d.inStart[i+1] += d.inStart[i]
+	}
+	d.in = make([]int32, len(d.out))
+	cursor := make([]int32, n)
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range d.Out(u) {
+			d.in[d.inStart[v]+cursor[v]] = u
+			cursor[v]++
+		}
+	}
+
+	d.computeLevels()
+	return d
+}
+
+// FromEdges builds a DAG over n cells from an explicit edge list,
+// supporting non-geometric instances (§2 notes the algorithms assume no
+// relation between the DAGs in different directions). Cycles are broken the
+// same way as in geometric construction.
+func FromEdges(n int, edgeList [][2]int32) (*DAG, error) {
+	for _, e := range edgeList {
+		if e[0] < 0 || int(e[0]) >= n || e[1] < 0 || int(e[1]) >= n {
+			return nil, fmt.Errorf("dag: edge %v out of range [0,%d)", e, n)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("dag: self-loop at %d", e[0])
+		}
+	}
+	d := &DAG{N: n}
+	edges := edgeList
+	buildCSR := func() {
+		d.outStart = make([]int32, n+1)
+		for _, e := range edges {
+			d.outStart[e[0]+1]++
+		}
+		for i := 0; i < n; i++ {
+			d.outStart[i+1] += d.outStart[i]
+		}
+		d.out = make([]int32, len(edges))
+		cursor := make([]int32, n)
+		for _, e := range edges {
+			d.out[d.outStart[e[0]]+cursor[e[0]]] = e[1]
+			cursor[e[0]]++
+		}
+	}
+	buildCSR()
+	if removed := d.breakCycles(); removed > 0 {
+		d.RemovedEdges = removed
+		kept := make([][2]int32, 0, len(edges)-removed)
+		for u := int32(0); u < int32(n); u++ {
+			for _, v := range d.Out(u) {
+				if v >= 0 {
+					kept = append(kept, [2]int32{u, v})
+				}
+			}
+		}
+		edges = kept
+		buildCSR()
+	}
+	d.inStart = make([]int32, n+1)
+	for _, v := range d.out {
+		d.inStart[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		d.inStart[i+1] += d.inStart[i]
+	}
+	d.in = make([]int32, len(d.out))
+	cursor := make([]int32, n)
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range d.Out(u) {
+			d.in[d.inStart[v]+cursor[v]] = u
+			cursor[v]++
+		}
+	}
+	d.computeLevels()
+	return d, nil
+}
+
+// breakCycles runs an iterative DFS over the out-adjacency and overwrites
+// the target of every back edge with -1, returning the number of edges
+// removed. The caller rebuilds the CSR afterwards.
+func (d *DAG) breakCycles() int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, d.N)
+	removed := 0
+	type frame struct {
+		v    int32
+		next int32 // index into out[outStart[v]:...]
+	}
+	var stack []frame
+	for s := int32(0); s < int32(d.N); s++ {
+		if color[s] != white {
+			continue
+		}
+		color[s] = gray
+		stack = append(stack[:0], frame{v: s})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			lo, hi := d.outStart[f.v], d.outStart[f.v+1]
+			if f.next == hi-lo {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			idx := lo + f.next
+			f.next++
+			w := d.out[idx]
+			if w < 0 {
+				continue
+			}
+			switch color[w] {
+			case white:
+				color[w] = gray
+				stack = append(stack, frame{v: w})
+			case gray:
+				d.out[idx] = -1 // back edge: remove
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// computeLevels performs Kahn peeling, assigning 1-based levels. It panics
+// if a cycle survives (breakCycles guarantees none does).
+func (d *DAG) computeLevels() {
+	n := d.N
+	indeg := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		indeg[v] = int32(d.InDegree(v))
+	}
+	d.Level = make([]int32, n)
+	queue := make([]int32, 0, n)
+	for v := int32(0); v < int32(n); v++ {
+		if indeg[v] == 0 {
+			d.Level[v] = 1
+			queue = append(queue, v)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		lv := d.Level[v]
+		if int(lv) > d.NumLevels {
+			d.NumLevels = int(lv)
+		}
+		for _, w := range d.Out(v) {
+			if d.Level[w] < lv+1 {
+				d.Level[w] = lv + 1
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if done != n {
+		panic(fmt.Sprintf("dag: %d of %d cells unreachable in level peel (cycle?)", n-done, n))
+	}
+}
+
+// TopoOrder returns the cells in a topological order (by level, then id).
+func (d *DAG) TopoOrder() []int32 {
+	order := make([]int32, d.N)
+	// Counting sort by level.
+	counts := make([]int32, d.NumLevels+2)
+	for _, l := range d.Level {
+		counts[l+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	for v := int32(0); v < int32(d.N); v++ {
+		l := d.Level[v]
+		order[counts[l]] = v
+		counts[l]++
+	}
+	return order
+}
+
+// LevelSets returns, for each level j (1-based; index 0 unused), the cells
+// at that level.
+func (d *DAG) LevelSets() [][]int32 {
+	sets := make([][]int32, d.NumLevels+1)
+	for v := int32(0); v < int32(d.N); v++ {
+		l := d.Level[v]
+		sets[l] = append(sets[l], v)
+	}
+	return sets
+}
+
+// BLevels returns, for every cell, the number of nodes on the longest path
+// from it to a sink (so sinks have b-level 1). This is the bottom-up level
+// numbering used by Pautz's DFDS priorities.
+func (d *DAG) BLevels() []int32 {
+	b := make([]int32, d.N)
+	order := d.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := int32(0)
+		for _, w := range d.Out(v) {
+			if b[w] > best {
+				best = b[w]
+			}
+		}
+		b[v] = best + 1
+	}
+	return b
+}
+
+// DescendantsExact returns, for every cell, the exact number of distinct
+// descendants (reachability-set size, excluding the cell itself), computed
+// with packed bitsets in reverse topological order. Memory is O(N²/64)
+// words; intended for small/medium meshes and for validating the proxy.
+func (d *DAG) DescendantsExact() []int32 {
+	n := d.N
+	words := (n + 63) / 64
+	bits := make([]uint64, n*words)
+	counts := make([]int32, n)
+	order := d.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		row := bits[int(v)*words : (int(v)+1)*words]
+		for _, w := range d.Out(v) {
+			row[int(w)/64] |= 1 << (uint(w) % 64)
+			wrow := bits[int(w)*words : (int(w)+1)*words]
+			for k := range row {
+				row[k] |= wrow[k]
+			}
+		}
+		c := int32(0)
+		for _, word := range row {
+			c += int32(popcount(word))
+		}
+		counts[v] = c
+	}
+	return counts
+}
+
+// DescendantsApprox returns the standard reverse-topological estimate
+// desc(v) = Σ_{w ∈ out(v)} (1 + desc(w)), which counts descendants with
+// path multiplicity. It overestimates on shared substructure but preserves
+// the ordering used by descendant-priority scheduling on mesh DAGs, and
+// runs in O(N + E). Values are saturated at MaxApproxDescendants.
+func (d *DAG) DescendantsApprox() []int64 {
+	counts := make([]int64, d.N)
+	order := d.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var sum int64
+		for _, w := range d.Out(v) {
+			sum += 1 + counts[w]
+			if sum > MaxApproxDescendants {
+				sum = MaxApproxDescendants
+				break
+			}
+		}
+		counts[v] = sum
+	}
+	return counts
+}
+
+// MaxApproxDescendants caps the path-multiplicity descendant estimate to
+// avoid overflow on deep DAGs.
+const MaxApproxDescendants = int64(1) << 50
+
+// Validate checks DAG structural invariants: level monotonicity on edges,
+// in/out consistency, and acyclicity (implied by the level function).
+func (d *DAG) Validate() error {
+	if len(d.Level) != d.N {
+		return fmt.Errorf("dag: level table size %d != N %d", len(d.Level), d.N)
+	}
+	for v := int32(0); v < int32(d.N); v++ {
+		if d.Level[v] < 1 || int(d.Level[v]) > d.NumLevels {
+			return fmt.Errorf("dag: cell %d level %d out of [1,%d]", v, d.Level[v], d.NumLevels)
+		}
+		for _, w := range d.Out(v) {
+			if w < 0 || int(w) >= d.N {
+				return fmt.Errorf("dag: edge %d->%d out of range", v, w)
+			}
+			if d.Level[w] <= d.Level[v] {
+				return fmt.Errorf("dag: edge %d->%d does not increase level (%d -> %d)", v, w, d.Level[v], d.Level[w])
+			}
+		}
+	}
+	// In-adjacency must mirror out-adjacency.
+	if len(d.in) != len(d.out) {
+		return fmt.Errorf("dag: in/out edge counts differ: %d vs %d", len(d.in), len(d.out))
+	}
+	var inPairs, outPairs int64
+	for v := int32(0); v < int32(d.N); v++ {
+		for _, w := range d.Out(v) {
+			outPairs += int64(v)*1000003 + int64(w)
+		}
+		for _, u := range d.In(v) {
+			inPairs += int64(u)*1000003 + int64(v)
+		}
+	}
+	if inPairs != outPairs {
+		return fmt.Errorf("dag: in-adjacency does not mirror out-adjacency")
+	}
+	return nil
+}
+
+// Sources returns the cells with no predecessors.
+func (d *DAG) Sources() []int32 {
+	var s []int32
+	for v := int32(0); v < int32(d.N); v++ {
+		if d.InDegree(v) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// Sinks returns the cells with no successors.
+func (d *DAG) Sinks() []int32 {
+	var s []int32
+	for v := int32(0); v < int32(d.N); v++ {
+		if d.OutDegree(v) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// BuildAll induces the DAGs for every direction in parallel (one goroutine
+// per available CPU), preserving direction order in the result.
+func BuildAll(m *mesh.Mesh, dirs []geom.Vec3) []*DAG {
+	dags := make([]*DAG, len(dirs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers <= 1 {
+		for i, dir := range dirs {
+			dags[i] = Build(m, dir)
+		}
+		return dags
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				dags[i] = Build(m, dirs[i])
+			}
+		}()
+	}
+	for i := range dirs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return dags
+}
+
+// WidthProfile returns the number of cells at each level (index 0 unused;
+// indices 1..NumLevels). The profile drives the random-delay analysis: wide
+// levels parallelize, narrow ones serialize.
+func (d *DAG) WidthProfile() []int32 {
+	prof := make([]int32, d.NumLevels+1)
+	for _, l := range d.Level {
+		prof[l]++
+	}
+	return prof
+}
+
+// Profile summarizes one direction DAG for analysis and logging.
+type Profile struct {
+	Cells, Edges   int
+	Levels         int
+	Sources, Sinks int
+	MaxWidth       int
+	MeanWidth      float64
+	RemovedEdges   int
+}
+
+// Analyze computes the DAG profile.
+func (d *DAG) Analyze() Profile {
+	p := Profile{
+		Cells:        d.N,
+		Edges:        d.NumEdges(),
+		Levels:       d.NumLevels,
+		RemovedEdges: d.RemovedEdges,
+	}
+	for _, w := range d.WidthProfile()[1:] {
+		if int(w) > p.MaxWidth {
+			p.MaxWidth = int(w)
+		}
+	}
+	if d.NumLevels > 0 {
+		p.MeanWidth = float64(d.N) / float64(d.NumLevels)
+	}
+	for v := int32(0); v < int32(d.N); v++ {
+		if d.InDegree(v) == 0 {
+			p.Sources++
+		}
+		if d.OutDegree(v) == 0 {
+			p.Sinks++
+		}
+	}
+	return p
+}
+
+// MaxLevels returns D, the maximum number of levels across the DAGs — one of
+// the lower-bound terms of §4 (OPT ≥ D).
+func MaxLevels(dags []*DAG) int {
+	d := 0
+	for _, g := range dags {
+		if g.NumLevels > d {
+			d = g.NumLevels
+		}
+	}
+	return d
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

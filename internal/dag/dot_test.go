@@ -1,0 +1,44 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"sweepsched/internal/geom"
+	"sweepsched/internal/mesh"
+)
+
+func TestWriteDOT(t *testing.T) {
+	d, err := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := d.WriteDOT(&b, "diamond", 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"diamond\"",
+		"n0 -> n1;",
+		"n2 -> n3;",
+		"rank=same",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count: 4 "->" lines.
+	if got := strings.Count(out, "->"); got != 4 {
+		t.Fatalf("%d edges in DOT, want 4", got)
+	}
+}
+
+func TestWriteDOTRejectsLarge(t *testing.T) {
+	m := mesh.RegularHex(10, 10, 10)
+	d := Build(m, geom.Vec3{X: 1, Y: 1, Z: 1}.Normalize())
+	var b strings.Builder
+	if err := d.WriteDOT(&b, "big", 100); err == nil {
+		t.Fatal("oversized DAG accepted")
+	}
+}

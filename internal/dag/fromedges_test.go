@@ -1,0 +1,83 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sweepsched/internal/rng"
+)
+
+func TestFromEdgesSimpleDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3
+	d, err := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLevels != 3 {
+		t.Fatalf("levels = %d, want 3", d.NumLevels)
+	}
+	if d.Level[0] != 1 || d.Level[3] != 3 || d.Level[1] != 2 || d.Level[2] != 2 {
+		t.Fatalf("levels %v", d.Level)
+	}
+	if d.InDegree(3) != 2 || d.OutDegree(0) != 2 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+}
+
+func TestFromEdgesBreaksCycle(t *testing.T) {
+	d, err := FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RemovedEdges != 1 {
+		t.Fatalf("removed %d edges, want 1", d.RemovedEdges)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(2, [][2]int32{{0, 2}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(2, [][2]int32{{1, 1}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestFromEdgesEmpty(t *testing.T) {
+	d, err := FromEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLevels != 1 || d.NumEdges() != 0 {
+		t.Fatalf("empty DAG: levels=%d edges=%d", d.NumLevels, d.NumEdges())
+	}
+}
+
+func TestQuickFromEdgesAlwaysAcyclic(t *testing.T) {
+	f := func(seed uint64, nRaw, eRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		r := rng.New(seed)
+		edges := make([][2]int32, 0, eRaw)
+		for i := 0; i < int(eRaw); i++ {
+			a, b := int32(r.Intn(n)), int32(r.Intn(n))
+			if a == b {
+				continue
+			}
+			edges = append(edges, [2]int32{a, b})
+		}
+		d, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

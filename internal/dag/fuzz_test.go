@@ -1,0 +1,49 @@
+package dag
+
+import (
+	"testing"
+)
+
+// FuzzFromEdges checks that arbitrary edge bytes never panic the DAG
+// builder and that accepted graphs always satisfy the structural
+// invariants (acyclic, monotone levels, mirrored adjacency).
+func FuzzFromEdges(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(3), []byte{0, 1, 1, 2, 2, 0}) // cycle
+	f.Add(uint8(2), []byte{})
+	f.Add(uint8(5), []byte{4, 0, 0, 4, 3, 3})
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, raw []byte) {
+		n := int(nRaw%30) + 2
+		edges := make([][2]int32, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int32{int32(raw[i]) % int32(n), int32(raw[i+1]) % int32(n)})
+		}
+		// Drop self-loops (FromEdges rejects them loudly; we want to probe
+		// the accept path as well as the reject path, so split the corpus).
+		hasSelfLoop := false
+		for _, e := range edges {
+			if e[0] == e[1] {
+				hasSelfLoop = true
+				break
+			}
+		}
+		d, err := FromEdges(n, edges)
+		if hasSelfLoop {
+			if err == nil {
+				t.Fatal("self-loop accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range edges rejected: %v", err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("invalid DAG from fuzz edges: %v", err)
+		}
+		if d.NumEdges()+d.RemovedEdges != len(edges) {
+			t.Fatalf("edge accounting: %d kept + %d removed != %d input",
+				d.NumEdges(), d.RemovedEdges, len(edges))
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package experiments reproduces every figure and headline observation of
+// the paper's empirical study (§5). Each experiment has a registered
+// runner that generates the workload (synthetic analogue of the paper's
+// mesh, see internal/mesh), runs the schedulers, and prints the same
+// series the paper plots. EXPERIMENTS.md records the qualitative
+// paper-vs-measured comparison; cmd/sweepbench and the benchmarks in
+// bench_test.go drive the same runners.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"sweepsched/internal/dag"
+	"sweepsched/internal/geom"
+	"sweepsched/internal/lb"
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/partition"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/stats"
+)
+
+// Config controls workload sizes shared by all experiments.
+type Config struct {
+	// Scale multiplies the paper's mesh cell counts (1.0 = paper size;
+	// the default 0.05 keeps the full suite interactive).
+	Scale float64
+	// Seed feeds every random choice; a fixed seed reproduces runs exactly.
+	Seed uint64
+	// Procs is the processor sweep; nil uses {2, 8, 32, 128, 512}.
+	Procs []int
+	// Trials averages randomized schedulers over this many runs (default 3).
+	Trials int
+	// Out receives the rendered tables; nil discards output.
+	Out io.Writer
+	// CSV switches table rendering from aligned text to CSV rows.
+	CSV bool
+	// Workers bounds the parallelism of row evaluation inside an
+	// experiment (0 = GOMAXPROCS). Output is identical regardless.
+	Workers int
+}
+
+// render writes a finished table in the configured format.
+func (c Config) render(tbl *stats.Table) error {
+	if c.CSV {
+		return tbl.RenderCSV(c.Out)
+	}
+	return tbl.Render(c.Out)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Procs == nil {
+		c.Procs = []int{2, 8, 32, 128, 512}
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// Runner executes one experiment.
+type Runner func(Config) error
+
+// Registry maps experiment ids (the DESIGN.md per-experiment index) to
+// runners.
+var Registry = map[string]Runner{
+	"fig2a":     Fig2a,
+	"fig2b":     Fig2b,
+	"fig2c":     Fig2c,
+	"fig3a":     Fig3a,
+	"fig3b":     Fig3b,
+	"fig3c":     Fig3c,
+	"speedup":   Speedup,
+	"guarantee": Guarantee,
+	"blocks":    BlockTradeoff,
+	"improved":  Improved,
+	"kba":       KBARegular,
+}
+
+// Names returns the experiment ids in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the named experiment.
+func Run(name string, cfg Config) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(cfg)
+}
+
+// Workload caches a mesh, its direction set and its DAGs so that a
+// processor sweep rebuilds none of them.
+type Workload struct {
+	MeshName string
+	K        int
+
+	Mesh *mesh.Mesh
+	Dirs []geom.Vec3
+	DAGs []*dag.DAG
+
+	mu         sync.Mutex
+	blockCache map[int]blockPartition
+}
+
+type blockPartition struct {
+	part    []int32
+	nBlocks int
+}
+
+// NewWorkload generates the named mesh family at the config's scale and
+// builds the k-direction DAG set.
+func NewWorkload(cfg Config, meshName string, k int) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	m, err := mesh.Family(meshName, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := quadrature.Octant(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		MeshName:   meshName,
+		K:          k,
+		Mesh:       m,
+		Dirs:       dirs,
+		DAGs:       dag.BuildAll(m, dirs),
+		blockCache: map[int]blockPartition{},
+	}, nil
+}
+
+// Instance returns the scheduling instance for m processors, sharing the
+// cached DAGs.
+func (w *Workload) Instance(m int) (*sched.Instance, error) {
+	inst, err := sched.FromDAGs(w.DAGs, m)
+	if err != nil {
+		return nil, err
+	}
+	inst.Mesh = w.Mesh
+	inst.Dirs = w.Dirs
+	return inst, nil
+}
+
+// BlockPartition returns (cached) the mesh partition into blocks of the
+// given size; size 1 is the identity (every cell its own block). It is
+// safe for concurrent use by parallel experiment rows.
+func (w *Workload) BlockPartition(blockSize int, seed uint64) ([]int32, int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if bp, ok := w.blockCache[blockSize]; ok {
+		return bp.part, bp.nBlocks, nil
+	}
+	g := partition.FromMesh(w.Mesh)
+	part, nBlocks, err := partition.Blocks(g, blockSize, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	w.blockCache[blockSize] = blockPartition{part, nBlocks}
+	return part, nBlocks, nil
+}
+
+// Assignment draws a processor assignment: blockSize 1 assigns each cell
+// independently (the "regular assignment" of Figure 2); larger sizes assign
+// per block (§5.1 "Partitioning into Blocks").
+func (w *Workload) Assignment(blockSize, m int, r *rng.Source) (sched.Assignment, error) {
+	if blockSize <= 1 {
+		return sched.RandomAssignment(w.Mesh.NCells(), m, r), nil
+	}
+	part, nBlocks, err := w.BlockPartition(blockSize, 0x9e3779b9)
+	if err != nil {
+		return nil, err
+	}
+	return sched.BlockAssignment(part, nBlocks, m, r), nil
+}
+
+// meanMakespanRatio runs fn cfg.Trials times and returns the mean makespan
+// and mean ratio to the nk/m lower bound.
+func meanMakespanRatio(cfg Config, inst *sched.Instance, seedTag uint64,
+	fn func(r *rng.Source) (*sched.Schedule, error)) (makespan float64, ratio float64, err error) {
+	var sumMs, sumRatio float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		r := rng.New(cfg.Seed ^ seedTag ^ (uint64(trial+1) * 0x9e3779b97f4a7c15))
+		s, err := fn(r)
+		if err != nil {
+			return 0, 0, err
+		}
+		sumMs += float64(s.Makespan)
+		sumRatio += lb.Ratio(s.Makespan, inst)
+	}
+	n := float64(cfg.Trials)
+	return sumMs / n, sumRatio / n, nil
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweepsched/internal/coloring"
+	"sweepsched/internal/core"
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/lb"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/stats"
+	"sweepsched/internal/synth"
+)
+
+// These experiments extend the paper's study along directions its text
+// opens but does not plot: the uniform communication-delay model c > 0
+// (§3), the non-geometric instances the algorithms remain valid on (§2),
+// and the edge-coloring realization of the C2 communication rounds (§5,
+// ref [11]).
+
+func init() {
+	Registry["commdelay"] = CommDelay
+	Registry["nongeom"] = NonGeometric
+	Registry["colorrounds"] = ColorRounds
+}
+
+// CommDelay measures the §5.1 trade-off under the uniform communication
+// cost model: as c grows, block assignments overtake per-cell assignments
+// because every cross-processor edge now stretches the critical path.
+func CommDelay(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 24)
+	if err != nil {
+		return err
+	}
+	const m = 32
+	inst, err := w.Instance(m)
+	if err != nil {
+		return err
+	}
+	// Block size scaled so #blocks stays well above m at any Scale.
+	bs := w.Mesh.NCells() / (8 * m)
+	if bs < 2 {
+		bs = 2
+	}
+	fmt.Fprintf(cfg.Out, "# commdelay: uniform comm cost c on %s (n=%d, k=24, m=%d, block=%d)\n",
+		w.MeshName, w.Mesh.NCells(), m, bs)
+	tbl := stats.NewTable("c", "ms_cell", "ms_block", "block/cell")
+	prio := heuristics.LevelPriorities(inst)
+	for _, c := range []int{0, 2, 8, 32, 128} {
+		var sumCell, sumBlock float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			r := rng.New(cfg.Seed ^ 0xcd ^ uint64(c*100+trial))
+			cellAssign, err := w.Assignment(1, m, r)
+			if err != nil {
+				return err
+			}
+			blockAssign, err := w.Assignment(bs, m, r)
+			if err != nil {
+				return err
+			}
+			sc, err := sched.ListScheduleComm(inst, cellAssign, prio, c)
+			if err != nil {
+				return err
+			}
+			sb, err := sched.ListScheduleComm(inst, blockAssign, prio, c)
+			if err != nil {
+				return err
+			}
+			sumCell += float64(sc.Makespan)
+			sumBlock += float64(sb.Makespan)
+		}
+		n := float64(cfg.Trials)
+		tbl.AddRow(c, sumCell/n, sumBlock/n, (sumBlock/n)/(sumCell/n))
+	}
+	return cfg.render(tbl)
+}
+
+// NonGeometric runs the provable algorithms and heuristics on instances
+// with no geometric structure (§2: "applicable even to non-geometric
+// instances"): independent random chains and the heuristic-trap
+// construction, where deterministic priority schedules collide on every
+// group while random delays stagger the directions.
+func NonGeometric(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# nongeom: non-geometric instances (ratios to strongest lower bound)\n")
+	tbl := stats.NewTable("instance", "n", "k", "m", "rdp", "level", "descendant", "dfds")
+
+	type instSpec struct {
+		name string
+		gen  func() (*sched.Instance, error)
+	}
+	n := 60 * int(cfg.Scale*100)
+	if n < 60 {
+		n = 60
+	}
+	k := 8
+	m := 8
+	specs := []instSpec{
+		{"random_chains", func() (*sched.Instance, error) {
+			dags, err := synth.RandomChains(n, k, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sched.FromDAGs(dags, m)
+		}},
+		{"layered_random", func() (*sched.Instance, error) {
+			dags, err := synth.LayeredRandom(n, k, 8, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sched.FromDAGs(dags, m)
+		}},
+		{"heuristic_trap", func() (*sched.Instance, error) {
+			dags, err := synth.HeuristicTrap(n/10, 10, k, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sched.FromDAGs(dags, m)
+		}},
+	}
+	for _, spec := range specs {
+		inst, err := spec.gen()
+		if err != nil {
+			return err
+		}
+		row := []interface{}{spec.name, inst.N(), k, m}
+		for _, name := range []heuristics.Name{
+			heuristics.RandomDelaysPriority, heuristics.Level,
+			heuristics.Descendant, heuristics.DFDS,
+		} {
+			var sum float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				r := rng.New(cfg.Seed ^ 0x9d ^ uint64(trial))
+				assign := sched.RandomAssignment(inst.N(), m, r)
+				s, err := heuristics.Run(name, inst, assign, r)
+				if err != nil {
+					return err
+				}
+				sum += lb.StrongRatio(s.Makespan, inst)
+			}
+			row = append(row, sum/float64(cfg.Trials))
+		}
+		tbl.AddRow(row...)
+	}
+	return cfg.render(tbl)
+}
+
+// ColorRounds realizes the C2 communication model: for every computation
+// step it edge-colors the processor message multigraph (greedy, ≤ 2Δ−1
+// colors) and reports the total realized rounds next to the C2 bound
+// (Σ max-degree, which a perfect Δ-coloring would achieve).
+func ColorRounds(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "# colorrounds: realized comm rounds via edge coloring vs the C2 bound\n")
+	tbl := stats.NewTable("m", "C2(maxdeg)", "greedy_rounds", "distrib_rounds", "greedy/C2", "distrib/C2")
+	for _, m := range cfg.Procs {
+		inst, err := w.Instance(m)
+		if err != nil {
+			return err
+		}
+		r := rng.New(cfg.Seed ^ 0xce)
+		assign, err := w.Assignment(16, m, r)
+		if err != nil {
+			return err
+		}
+		s, err := core.RandomDelayPrioritiesWithAssignment(inst, assign, r)
+		if err != nil {
+			return err
+		}
+		c2 := sched.C2(s)
+		greedy, distrib, err := realizedRounds(s, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		og, od := 0.0, 0.0
+		if c2 > 0 {
+			og = float64(greedy) / float64(c2)
+			od = float64(distrib) / float64(c2)
+		}
+		tbl.AddRow(m, c2, greedy, distrib, og, od)
+	}
+	return cfg.render(tbl)
+}
+
+// realizedRounds colors each step's message multigraph with both the
+// sequential greedy and the [11]-style distributed algorithm, and sums the
+// colors used by each.
+func realizedRounds(s *sched.Schedule, seed uint64) (greedyTotal, distribTotal int64, err error) {
+	inst := s.Inst
+	n := int32(inst.N())
+	perStep := make(map[int32][]coloring.Edge)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for u := int32(0); u < n; u++ {
+			pu := s.Assign[u]
+			st := s.Start[base+u]
+			for _, w := range d.Out(u) {
+				if s.Assign[w] != pu {
+					perStep[st] = append(perStep[st], coloring.Edge{From: pu, To: s.Assign[w]})
+				}
+			}
+		}
+	}
+	for st, edges := range perStep {
+		_, gColors, err := coloring.Greedy(inst.M, edges)
+		if err != nil {
+			return 0, 0, err
+		}
+		greedyTotal += int64(gColors)
+		_, dColors, _, err := coloring.Distributed(inst.M, edges, seed^uint64(st), 0.2)
+		if err != nil {
+			return 0, 0, err
+		}
+		distribTotal += int64(dColors)
+	}
+	return greedyTotal, distribTotal, nil
+}

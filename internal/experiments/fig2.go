@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweepsched/internal/core"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/stats"
+)
+
+// fig2BlockSizes are the assignment granularities compared in Figure 2:
+// per-cell random assignment and two block sizes.
+var fig2BlockSizes = []int{1, 64, 256}
+
+// Fig2a reproduces Figure 2(a): the makespan of random-delay scheduling on
+// the tetonly mesh with 24 directions, for a per-cell random assignment and
+// for block assignments, across the processor sweep. Both Algorithm 1
+// (layer-synchronous) and Algorithm 2 (priority-compacted) are reported.
+func Fig2a(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 24)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "# fig2a: makespan on %s (n=%d, k=%d), cell vs block assignment\n",
+		w.MeshName, w.Mesh.NCells(), w.K)
+	tbl := stats.NewTable("m", "lb(nk/m)",
+		"rd_cell", "rdp_cell", "rdp_b64", "rdp_b256", "ratio_rdp_cell")
+	for _, m := range cfg.Procs {
+		inst, err := w.Instance(m)
+		if err != nil {
+			return err
+		}
+		loadLB := float64(inst.NTasks()) / float64(m)
+
+		row := make([]interface{}, 0, 7)
+		row = append(row, m, loadLB)
+
+		// Algorithm 1, per-cell assignment.
+		ms, _, err := meanMakespanRatio(cfg, inst, 0xa1, func(r *rng.Source) (*sched.Schedule, error) {
+			return core.RandomDelay(inst, r)
+		})
+		if err != nil {
+			return err
+		}
+		row = append(row, ms)
+
+		// Algorithm 2 under each assignment granularity.
+		var cellRatio float64
+		for _, bs := range fig2BlockSizes {
+			bs := bs
+			ms, ratio, err := meanMakespanRatio(cfg, inst, 0xa2+uint64(bs), func(r *rng.Source) (*sched.Schedule, error) {
+				assign, err := w.Assignment(bs, m, r)
+				if err != nil {
+					return nil, err
+				}
+				return core.RandomDelayPrioritiesWithAssignment(inst, assign, r)
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, ms)
+			if bs == 1 {
+				cellRatio = ratio
+			}
+		}
+		row = append(row, cellRatio)
+		tbl.AddRow(row...)
+	}
+	return cfg.render(tbl)
+}
+
+// Fig2b reproduces Figure 2(b): the communication costs C1 (interprocessor
+// edges) and C2 ("Max Off-Proc-Outdegree" rounds) under cell vs block
+// assignment on tetonly with 24 directions.
+func Fig2b(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 24)
+	if err != nil {
+		return err
+	}
+	totalEdges := 0
+	for _, d := range w.DAGs {
+		totalEdges += d.NumEdges()
+	}
+	fmt.Fprintf(cfg.Out, "# fig2b: comm costs on %s (n=%d, k=%d, edges=%d)\n",
+		w.MeshName, w.Mesh.NCells(), w.K, totalEdges)
+	tbl := stats.NewTable("m",
+		"C1_cell", "C1_b64", "C1_b256",
+		"C2_cell", "C2_b64", "C2_b256")
+	for _, m := range cfg.Procs {
+		inst, err := w.Instance(m)
+		if err != nil {
+			return err
+		}
+		c1s := make([]int64, len(fig2BlockSizes))
+		c2s := make([]int64, len(fig2BlockSizes))
+		for bi, bs := range fig2BlockSizes {
+			var sum1, sum2 int64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				r := rng.New(cfg.Seed ^ 0xb0 ^ uint64(bs*1000+trial))
+				assign, err := w.Assignment(bs, m, r)
+				if err != nil {
+					return err
+				}
+				s, err := core.RandomDelayPrioritiesWithAssignment(inst, assign, r)
+				if err != nil {
+					return err
+				}
+				met := sched.Measure(s)
+				sum1 += met.C1
+				sum2 += met.C2
+			}
+			c1s[bi] = sum1 / int64(cfg.Trials)
+			c2s[bi] = sum2 / int64(cfg.Trials)
+		}
+		tbl.AddRow(m, c1s[0], c1s[1], c1s[2], c2s[0], c2s[1], c2s[2])
+	}
+	return cfg.render(tbl)
+}
+
+// Fig2c reproduces Figure 2(c): "Random Delays" (Algorithm 1) versus
+// "Random Delays with Priorities" (Algorithm 2) on the long mesh for
+// several direction counts across the processor sweep, as ratios to the
+// nk/m lower bound.
+func Fig2c(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# fig2c: Random Delays vs Random Delays with Priorities on long\n")
+	tbl := stats.NewTable("k", "m", "ratio_rd", "ratio_rdp", "improvement")
+	for _, k := range []int{4, 24, 48} {
+		w, err := NewWorkload(cfg, "long", k)
+		if err != nil {
+			return err
+		}
+		for _, m := range cfg.Procs {
+			inst, err := w.Instance(m)
+			if err != nil {
+				return err
+			}
+			_, r1, err := meanMakespanRatio(cfg, inst, 0xc1, func(r *rng.Source) (*sched.Schedule, error) {
+				return core.RandomDelay(inst, r)
+			})
+			if err != nil {
+				return err
+			}
+			_, r2, err := meanMakespanRatio(cfg, inst, 0xc2, func(r *rng.Source) (*sched.Schedule, error) {
+				return core.RandomDelayPriorities(inst, r)
+			})
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(k, m, r1, r2, r1/r2)
+		}
+	}
+	return cfg.render(tbl)
+}

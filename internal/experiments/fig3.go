@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/par"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/stats"
+)
+
+// runHeuristicRatios evaluates the named schedulers on one workload with a
+// shared block assignment and prints mean makespan/LB ratios per (k, m).
+// This is the common harness behind Figures 3(a)-(c), which differ only in
+// mesh, block size and scheduler lineup.
+func runHeuristicRatios(cfg Config, meshName string, blockSize int, ks []int, names []heuristics.Name) error {
+	cfg = cfg.withDefaults()
+	header := []string{"k", "m"}
+	for _, n := range names {
+		header = append(header, "ratio_"+string(n))
+	}
+	tbl := stats.NewTable(header...)
+	for _, k := range ks {
+		w, err := NewWorkload(cfg, meshName, k)
+		if err != nil {
+			return err
+		}
+		// Prewarm the block partition so parallel rows share the cache.
+		if _, _, err := w.BlockPartition(blockSize, 0x9e3779b9); err != nil {
+			return err
+		}
+		rows, err := par.Map(len(cfg.Procs), cfg.Workers, func(mi int) ([]interface{}, error) {
+			m := cfg.Procs[mi]
+			inst, err := w.Instance(m)
+			if err != nil {
+				return nil, err
+			}
+			row := []interface{}{k, m}
+			for ni, name := range names {
+				name := name
+				_, ratio, err := meanMakespanRatio(cfg, inst, 0xf30+uint64(ni), func(r *rng.Source) (*sched.Schedule, error) {
+					assign, err := w.Assignment(blockSize, m, r)
+					if err != nil {
+						return nil, err
+					}
+					return heuristics.Run(name, inst, assign, r)
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, ratio)
+			}
+			return row, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			tbl.AddRow(row...)
+		}
+	}
+	return cfg.render(tbl)
+}
+
+// Fig3a reproduces Figure 3(a): the effect of random delays — plain level
+// priorities versus the random-delays algorithm (level priorities + delays,
+// i.e. Algorithm 2) on the long mesh with block size 64.
+func Fig3a(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# fig3a: level priorities vs random delays (long, block 64)\n")
+	return runHeuristicRatios(cfg, "long", 64, []int{4, 24, 48},
+		[]heuristics.Name{heuristics.Level, heuristics.RandomDelaysPriority})
+}
+
+// Fig3b reproduces Figure 3(b): descendant priorities without and with
+// random delays, against the random-delays algorithm, on tetonly with block
+// size 256.
+func Fig3b(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# fig3b: descendant priorities vs random delays (tetonly, block 256)\n")
+	return runHeuristicRatios(cfg, "tetonly", 256, []int{4, 24, 48},
+		[]heuristics.Name{heuristics.RandomDelaysPriority, heuristics.Descendant, heuristics.DescendantDelays})
+}
+
+// Fig3c reproduces Figure 3(c): DFDS priorities without and with random
+// delays, against the random-delays algorithm, on well_logging with block
+// size 128.
+func Fig3c(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# fig3c: DFDS priorities vs random delays (well_logging, block 128)\n")
+	return runHeuristicRatios(cfg, "well_logging", 128, []int{4, 24, 48},
+		[]heuristics.Name{heuristics.RandomDelaysPriority, heuristics.DFDS, heuristics.DFDSDelays})
+}

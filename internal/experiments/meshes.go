@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/stats"
+)
+
+func init() {
+	Registry["meshes"] = MeshCharacter
+}
+
+// MeshCharacter tabulates the workload character of the four synthetic mesh
+// families at the configured scale: cells, interior faces, per-direction
+// DAG depth D (the critical-path lower bound), mean level width, and how
+// many edges cycle-breaking removed (§3 assumes broken cycles). This is
+// the structural context for every other experiment — e.g. long's large D
+// explains why its ratios grow fastest with m.
+func MeshCharacter(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# meshes: workload character at scale %g (k=24)\n", cfg.Scale)
+	tbl := stats.NewTable("mesh", "cells", "intFaces", "D", "meanWidth", "broken", "aspectMean")
+	for _, name := range mesh.FamilyNames() {
+		w, err := NewWorkload(cfg, name, 24)
+		if err != nil {
+			return err
+		}
+		maxD := 0
+		broken := 0
+		var widthSum float64
+		for _, d := range w.DAGs {
+			p := d.Analyze()
+			if p.Levels > maxD {
+				maxD = p.Levels
+			}
+			broken += p.RemovedEdges
+			widthSum += p.MeanWidth
+		}
+		aspect := 0.0
+		if q, err := w.Mesh.ComputeQuality(); err == nil {
+			aspect = q.AspectMean
+		}
+		tbl.AddRow(name, w.Mesh.NCells(), w.Mesh.NInteriorFaces(), maxD,
+			widthSum/float64(len(w.DAGs)), broken, aspect)
+	}
+	return cfg.render(tbl)
+}

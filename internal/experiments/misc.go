@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweepsched/internal/core"
+	"sweepsched/internal/kba"
+	"sweepsched/internal/lb"
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/par"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/stats"
+)
+
+// Speedup reproduces the headline scaling observation (§2 result 3, §5.1
+// observation 3): across all meshes, direction counts and processor counts,
+// the makespan of Random Delays with Priorities stays within 3·nk/m —
+// linear speedup. The table reports the worst ratio per (mesh, k).
+func Speedup(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# speedup: max makespan/(nk/m) over m in %v (paper: always <= 3)\n", cfg.Procs)
+	tbl := stats.NewTable("mesh", "n", "k", "worst_ratio", "worst_m", "within3")
+	for _, name := range mesh.FamilyNames() {
+		for _, k := range []int{24, 48} {
+			w, err := NewWorkload(cfg, name, k)
+			if err != nil {
+				return err
+			}
+			// Pure Algorithm 2 (per-cell assignment): the paper's "at most
+			// 3nk/m in all our runs" needs the number of blocks to stay
+			// well above m, which fixed block sizes violate on scaled-down
+			// meshes; per-cell assignment is the granularity-independent
+			// form of the claim.
+			ratios, err := par.Map(len(cfg.Procs), cfg.Workers, func(mi int) (float64, error) {
+				inst, err := w.Instance(cfg.Procs[mi])
+				if err != nil {
+					return 0, err
+				}
+				_, ratio, err := meanMakespanRatio(cfg, inst, 0x5d, func(r *rng.Source) (*sched.Schedule, error) {
+					return core.RandomDelayPriorities(inst, r)
+				})
+				return ratio, err
+			})
+			if err != nil {
+				return err
+			}
+			worst, worstM := 0.0, 0
+			for mi, ratio := range ratios {
+				if ratio > worst {
+					worst, worstM = ratio, cfg.Procs[mi]
+				}
+			}
+			tbl.AddRow(name, w.Mesh.NCells(), k, worst, worstM, worst <= 3)
+		}
+	}
+	return cfg.render(tbl)
+}
+
+// Guarantee reproduces §5.1 observation 1: the observed approximation
+// ratios sit far below the O(log²n) worst-case guarantee. For each mesh it
+// prints the ratio of each provable algorithm next to log²n and
+// ρ(m) = log m · logloglog m.
+func Guarantee(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# guarantee: observed ratio vs theoretical factors\n")
+	tbl := stats.NewTable("mesh", "m", "ratio_alg1", "ratio_alg2", "ratio_alg3", "log2n^2", "rho(m)")
+	for _, name := range mesh.FamilyNames() {
+		w, err := NewWorkload(cfg, name, 24)
+		if err != nil {
+			return err
+		}
+		rows, err := par.Map(len(cfg.Procs), cfg.Workers, func(mi int) ([3]float64, error) {
+			m := cfg.Procs[mi]
+			inst, err := w.Instance(m)
+			if err != nil {
+				return [3]float64{}, err
+			}
+			algs := []func(*sched.Instance, *rng.Source) (*sched.Schedule, error){
+				core.RandomDelay, core.RandomDelayPriorities, core.ImprovedRandomDelayPriorities,
+			}
+			var ratios [3]float64
+			for ai, alg := range algs {
+				alg := alg
+				_, r, err := meanMakespanRatio(cfg, inst, 0x6e+uint64(ai), func(r *rng.Source) (*sched.Schedule, error) {
+					return alg(inst, r)
+				})
+				if err != nil {
+					return ratios, err
+				}
+				ratios[ai] = r
+			}
+			return ratios, nil
+		})
+		if err != nil {
+			return err
+		}
+		for mi, ratios := range rows {
+			m := cfg.Procs[mi]
+			tbl.AddRow(name, m, ratios[0], ratios[1], ratios[2],
+				core.Log2Sq(w.Mesh.NCells()), core.Rho(m))
+		}
+	}
+	return cfg.render(tbl)
+}
+
+// BlockTradeoff reproduces §5.1 observation 2 in sweep form: growing block
+// sizes cut the number of interprocessor edges (C1) sharply while the
+// makespan grows only mildly and C2 stays low.
+func BlockTradeoff(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 24)
+	if err != nil {
+		return err
+	}
+	m := 64
+	inst, err := w.Instance(m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "# blocks: block-size sweep on %s (n=%d, k=24, m=%d)\n",
+		w.MeshName, w.Mesh.NCells(), m)
+	tbl := stats.NewTable("block", "makespan", "ratio", "C1", "C2", "C1_frac_edges")
+	totalEdges := 0
+	for _, d := range w.DAGs {
+		totalEdges += d.NumEdges()
+	}
+	for _, bs := range []int{1, 4, 16, 64, 256, 1024} {
+		var sumMs float64
+		var sumC1, sumC2 int64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			r := rng.New(cfg.Seed ^ 0x7b ^ uint64(bs*100+trial))
+			assign, err := w.Assignment(bs, m, r)
+			if err != nil {
+				return err
+			}
+			s, err := core.RandomDelayPrioritiesWithAssignment(inst, assign, r)
+			if err != nil {
+				return err
+			}
+			met := sched.Measure(s)
+			sumMs += float64(met.Makespan)
+			sumC1 += met.C1
+			sumC2 += met.C2
+		}
+		n := float64(cfg.Trials)
+		ms := sumMs / n
+		c1 := float64(sumC1) / n
+		c2 := float64(sumC2) / n
+		tbl.AddRow(bs, ms, ms/(float64(inst.NTasks())/float64(m)), int64(c1), int64(c2),
+			c1/float64(totalEdges))
+	}
+	return cfg.render(tbl)
+}
+
+// Improved compares Algorithm 1 against Algorithm 3 (§4.3): the greedy
+// preprocessing narrows combined layers to width ≤ m, which pays off when
+// layer widths are very uneven.
+func Improved(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "# improved: Algorithm 1 vs Algorithm 3 (layered forms)\n")
+	tbl := stats.NewTable("mesh", "m", "ms_alg1", "ms_alg3", "alg1/alg3")
+	for _, name := range []string{"tetonly", "long"} {
+		w, err := NewWorkload(cfg, name, 24)
+		if err != nil {
+			return err
+		}
+		for _, m := range cfg.Procs {
+			inst, err := w.Instance(m)
+			if err != nil {
+				return err
+			}
+			ms1, _, err := meanMakespanRatio(cfg, inst, 0x8a, func(r *rng.Source) (*sched.Schedule, error) {
+				return core.RandomDelay(inst, r)
+			})
+			if err != nil {
+				return err
+			}
+			ms3, _, err := meanMakespanRatio(cfg, inst, 0x8b, func(r *rng.Source) (*sched.Schedule, error) {
+				return core.ImprovedRandomDelay(inst, r)
+			})
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(name, m, ms1, ms3, ms1/ms3)
+		}
+	}
+	return cfg.render(tbl)
+}
+
+// KBARegular is the related-work sanity check (§2): on a very regular mesh
+// the KBA column schedule is essentially optimal, and the provable
+// algorithms stay within their usual small factor of the bound.
+func KBARegular(cfg Config) error {
+	cfg = cfg.withDefaults()
+	side := 12
+	msh := mesh.RegularHex(side, side, side)
+	dirs, err := quadrature.Diagonals(8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "# kba: regular %dx%dx%d grid, 8 octant directions\n", side, side, side)
+	tbl := stats.NewTable("m", "ratio_kba", "ratio_rdp")
+	for _, m := range cfg.Procs {
+		if m > side*side {
+			continue // KBA tiles the xy plane; skip degenerate tilings
+		}
+		inst, err := sched.NewInstance(msh, dirs, m)
+		if err != nil {
+			return err
+		}
+		assign, err := kba.ColumnAssignment(side, side, side, m)
+		if err != nil {
+			return err
+		}
+		s, err := kba.Schedule(inst, assign)
+		if err != nil {
+			return err
+		}
+		kbaRatio := lb.Ratio(s.Makespan, inst)
+		_, rdpRatio, err := meanMakespanRatio(cfg, inst, 0x9c, func(r *rng.Source) (*sched.Schedule, error) {
+			return core.RandomDelayPriorities(inst, r)
+		})
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(m, kbaRatio, rdpRatio)
+	}
+	return cfg.render(tbl)
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/partition"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/stats"
+)
+
+func init() {
+	Registry["weighted"] = Weighted
+}
+
+// Weighted extends the study to heterogeneous cell costs (the paper takes
+// p=1; production sweeps have material- and size-dependent local solves).
+// Cell weights are drawn log-normal (σ=0.75, median 4), and both the
+// assignment and the schedule must handle the skew: the weight-aware
+// balanced partition assigns each processor equal *work*, not equal cell
+// counts. Ratios are to the weighted load bound Σ k·w / m.
+func Weighted(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 24)
+	if err != nil {
+		return err
+	}
+	n := w.Mesh.NCells()
+	r := rng.New(cfg.Seed ^ 0xdead)
+	weights := make(sched.CellWeights, n)
+	for v := range weights {
+		weights[v] = int32(math.Round(4*math.Exp(0.75*r.NormFloat64()))) + 1
+	}
+	var total int64
+	for _, x := range weights {
+		total += int64(x)
+	}
+	fmt.Fprintf(cfg.Out, "# weighted: log-normal cell costs on %s (n=%d, k=24, total weight %d)\n",
+		w.MeshName, n, total)
+	tbl := stats.NewTable("m", "assign", "ratio_level", "ratio_rdp", "ratio_dfds", "C1")
+
+	for _, m := range cfg.Procs {
+		inst, err := w.Instance(m)
+		if err != nil {
+			return err
+		}
+		loadLB := sched.WeightedLoadBound(inst, weights)
+		crit := float64(sched.WeightedCriticalPath(inst, weights))
+		if loadLB < crit {
+			continue // out of the load-bound regime; ratios would mislead
+		}
+		type assignCase struct {
+			name string
+			gen  func(rr *rng.Source) (sched.Assignment, error)
+		}
+		cases := []assignCase{
+			{"random", func(rr *rng.Source) (sched.Assignment, error) {
+				return sched.RandomAssignment(n, m, rr), nil
+			}},
+			{"balanced", func(rr *rng.Source) (sched.Assignment, error) {
+				// Weight-aware m-way partition with bijective placement.
+				g := partition.FromMesh(w.Mesh)
+				for v := 0; v < n; v++ {
+					g.VWeight[v] = weights[v]
+				}
+				part, err := partition.KWay(g, m, partition.Options{Seed: cfg.Seed ^ 0x777})
+				if err != nil {
+					return nil, err
+				}
+				return sched.Assignment(part), nil
+			}},
+		}
+		for _, ac := range cases {
+			rr := rng.New(cfg.Seed ^ 0x123 ^ uint64(m))
+			assign, err := ac.gen(rr)
+			if err != nil {
+				return err
+			}
+			row := []interface{}{m, ac.name}
+			for _, name := range []heuristics.Name{heuristics.Level, heuristics.RandomDelaysPriority, heuristics.DFDS} {
+				prio, err := weightedPriorityFor(name, inst, assign, rng.New(cfg.Seed^0x321))
+				if err != nil {
+					return err
+				}
+				s, err := sched.ListScheduleWeighted(inst, assign, prio, weights)
+				if err != nil {
+					return err
+				}
+				row = append(row, float64(s.Makespan)/loadLB)
+			}
+			row = append(row, sched.C1(inst, assign))
+			tbl.AddRow(row...)
+		}
+	}
+	return cfg.render(tbl)
+}
+
+// weightedPriorityFor maps scheduler names onto priority vectors for the
+// weighted engine (the random-delay variants fold delays into priorities,
+// as in Algorithm 2).
+func weightedPriorityFor(name heuristics.Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source) (sched.Priorities, error) {
+	switch name {
+	case heuristics.Level:
+		return heuristics.LevelPriorities(inst), nil
+	case heuristics.RandomDelaysPriority:
+		prio := heuristics.LevelPriorities(inst)
+		n := int32(inst.N())
+		for i := 0; i < inst.K(); i++ {
+			delay := int64(r.Intn(inst.K()))
+			base := int32(i) * n
+			for v := int32(0); v < n; v++ {
+				prio[base+v] += delay
+			}
+		}
+		return prio, nil
+	case heuristics.DFDS:
+		return heuristics.DFDSPriorities(inst, assign), nil
+	}
+	return nil, fmt.Errorf("experiments: no weighted priority mapping for %s", name)
+}

@@ -1,0 +1,197 @@
+// Package heuristics implements the comparison schedulers of §5.2:
+//
+//   - Level priorities: task (v,i) gets its level in G_i; smaller first.
+//   - Descendant priorities (after Plimpton et al. [15]): a task's priority
+//     is its number of descendants in G_i; larger first.
+//   - Depth-First Descendant-Seeking priorities (Pautz [14]): b-level-based
+//     priorities steering each processor towards tasks whose descendants
+//     leave the processor soon; larger first.
+//
+// Each heuristic can be combined with the paper's random-delays technique
+// (§5.2 studies exactly these combinations): direction i is held back by a
+// uniform random X_i ∈ {0..k-1} steps, implemented as task release times.
+package heuristics
+
+import (
+	"sweepsched/internal/core"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+)
+
+// LevelPriorities returns Γ(v,i) = level_i(v); list scheduling prefers
+// smaller values, matching the paper's "smaller priorities preferred".
+func LevelPriorities(inst *sched.Instance) sched.Priorities {
+	n := int32(inst.N())
+	prio := make(sched.Priorities, inst.NTasks())
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = int64(d.Level[v])
+		}
+	}
+	return prio
+}
+
+// ExactDescendantThreshold is the cell count up to which descendant
+// priorities use the exact bitset reachability computation; larger meshes
+// use the linear-time path-multiplicity estimate (see
+// dag.DescendantsApprox), whose ordering is near-identical on mesh DAGs.
+const ExactDescendantThreshold = 20000
+
+// DescendantPriorities returns the Plimpton-style priorities: the number of
+// descendants of (v,i) in G_i, negated so that the smallest-first list
+// scheduler runs high-descendant tasks first.
+func DescendantPriorities(inst *sched.Instance) sched.Priorities {
+	n := int32(inst.N())
+	prio := make(sched.Priorities, inst.NTasks())
+	exact := inst.N() <= ExactDescendantThreshold
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		if exact {
+			desc := d.DescendantsExact()
+			for v := int32(0); v < n; v++ {
+				prio[base+v] = -int64(desc[v])
+			}
+		} else {
+			desc := d.DescendantsApprox()
+			for v := int32(0); v < n; v++ {
+				prio[base+v] = -desc[v]
+			}
+		}
+	}
+	return prio
+}
+
+// DFDSPriorities returns Pautz's Depth-First Descendant-Seeking priorities
+// for a given processor assignment. Per direction DAG, with b(v) the
+// b-level (longest node count to a sink) and Δ ≥ number of levels:
+//
+//   - a task with at least one child on another processor gets
+//     max(child b-level) + Δ;
+//   - a task whose children are all on-processor but that still has some
+//     off-processor descendant gets max(child priority) − 1;
+//   - a task with no off-processor descendants gets 0.
+//
+// Higher priority is better, so values are negated for the
+// smallest-first list scheduler.
+func DFDSPriorities(inst *sched.Instance, assign sched.Assignment) sched.Priorities {
+	n := int32(inst.N())
+	prio := make(sched.Priorities, inst.NTasks())
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		b := d.BLevels()
+		delta := int64(d.NumLevels) + 1
+		raw := make([]int64, n)
+		order := d.TopoOrder()
+		for idx := len(order) - 1; idx >= 0; idx-- {
+			v := order[idx]
+			var maxChildB int64 = -1
+			var maxChildPrio int64 = -1
+			offChild := false
+			offDesc := false
+			for _, w := range d.Out(v) {
+				if assign[w] != assign[v] {
+					offChild = true
+					if int64(b[w]) > maxChildB {
+						maxChildB = int64(b[w])
+					}
+				}
+				if raw[w] > 0 {
+					offDesc = true
+				}
+				if raw[w] > maxChildPrio {
+					maxChildPrio = raw[w]
+				}
+			}
+			switch {
+			case offChild:
+				raw[v] = maxChildB + delta
+			case offDesc:
+				raw[v] = maxChildPrio - 1
+				if raw[v] < 1 {
+					raw[v] = 1 // keep "has off-processor descendant" visible
+				}
+			default:
+				raw[v] = 0
+			}
+		}
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = -raw[v]
+		}
+	}
+	return prio
+}
+
+// delayReleases converts per-direction random delays into task release
+// times.
+func delayReleases(inst *sched.Instance, r *rng.Source) []int32 {
+	delays := core.Delays(inst.K(), r)
+	n := int32(inst.N())
+	rel := make([]int32, inst.NTasks())
+	for i := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			rel[base+v] = delays[i]
+		}
+	}
+	return rel
+}
+
+// Name identifies a heuristic scheduler in experiment tables.
+type Name string
+
+// The scheduler lineup compared in §5.2, plus the provable algorithms of §4
+// under the names the experiments use.
+const (
+	RandomDelays         Name = "random_delays"          // Algorithm 1
+	RandomDelaysPriority Name = "random_delays_priority" // Algorithm 2
+	ImprovedDelays       Name = "improved_delays"        // Algorithm 3
+	Level                Name = "level"
+	LevelDelays          Name = "level_delays"
+	Descendant           Name = "descendant"
+	DescendantDelays     Name = "descendant_delays"
+	DFDS                 Name = "dfds"
+	DFDSDelays           Name = "dfds_delays"
+)
+
+// AllNames lists every scheduler in presentation order.
+func AllNames() []Name {
+	return []Name{
+		RandomDelays, RandomDelaysPriority, ImprovedDelays,
+		Level, LevelDelays,
+		Descendant, DescendantDelays,
+		DFDS, DFDSDelays,
+	}
+}
+
+// Run executes the named scheduler on the instance with the given
+// assignment and randomness source. Every scheduler uses the same
+// assignment, so C1 is identical across them (as in §5.2, which compares
+// makespans only for that reason).
+func Run(name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source) (*sched.Schedule, error) {
+	switch name {
+	case RandomDelays:
+		return core.RandomDelayWithAssignment(inst, assign, r)
+	case RandomDelaysPriority:
+		return core.RandomDelayPrioritiesWithAssignment(inst, assign, r)
+	case ImprovedDelays:
+		return core.ImprovedRandomDelayPrioritiesWithAssignment(inst, assign, r)
+	case Level:
+		return sched.ListSchedule(inst, assign, LevelPriorities(inst))
+	case LevelDelays:
+		return sched.ListScheduleWithRelease(inst, assign, LevelPriorities(inst), delayReleases(inst, r))
+	case Descendant:
+		return sched.ListSchedule(inst, assign, DescendantPriorities(inst))
+	case DescendantDelays:
+		return sched.ListScheduleWithRelease(inst, assign, DescendantPriorities(inst), delayReleases(inst, r))
+	case DFDS:
+		return sched.ListSchedule(inst, assign, DFDSPriorities(inst, assign))
+	case DFDSDelays:
+		return sched.ListScheduleWithRelease(inst, assign, DFDSPriorities(inst, assign), delayReleases(inst, r))
+	}
+	return nil, errUnknown(name)
+}
+
+type errUnknown Name
+
+func (e errUnknown) Error() string { return "heuristics: unknown scheduler " + string(e) }

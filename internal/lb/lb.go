@@ -1,0 +1,65 @@
+// Package lb computes lower bounds on the optimal sweep-schedule makespan.
+// §4 of the paper uses OPT ≥ max{nk/m, k, D}: the load bound (nk unit tasks
+// on m processors), the per-cell bound (every cell has k copies that run on
+// one processor), and the critical-path bound (D = maximum number of levels
+// in any direction). The experiments in §5 compare against nk/m.
+package lb
+
+import (
+	"sweepsched/internal/sched"
+)
+
+// Bounds carries the individual lower-bound terms.
+type Bounds struct {
+	Load         float64 // nk/m (average load; the paper's plotted baseline)
+	PerCell      int     // k: all copies of one cell are sequential on its processor
+	CriticalPath int     // D: longest chain in any single direction
+}
+
+// Max returns the strongest of the bounds, rounded up.
+func (b Bounds) Max() int {
+	m := b.PerCell
+	if b.CriticalPath > m {
+		m = b.CriticalPath
+	}
+	if l := int(ceil(b.Load)); l > m {
+		m = l
+	}
+	return m
+}
+
+// Compute derives all bounds from an instance.
+func Compute(inst *sched.Instance) Bounds {
+	d := 0
+	for _, g := range inst.DAGs {
+		if g.NumLevels > d {
+			d = g.NumLevels
+		}
+	}
+	return Bounds{
+		Load:         float64(inst.NTasks()) / float64(inst.M),
+		PerCell:      inst.K(),
+		CriticalPath: d,
+	}
+}
+
+// Ratio returns makespan divided by the load bound nk/m — the quantity the
+// paper plots as the empirical approximation guarantee ("ratio of the
+// makespan to the lower bound").
+func Ratio(makespan int, inst *sched.Instance) float64 {
+	return float64(makespan) / (float64(inst.NTasks()) / float64(inst.M))
+}
+
+// StrongRatio divides the makespan by the strongest known lower bound,
+// giving a tighter empirical approximation factor.
+func StrongRatio(makespan int, inst *sched.Instance) float64 {
+	return float64(makespan) / float64(Compute(inst).Max())
+}
+
+func ceil(x float64) float64 {
+	i := float64(int64(x))
+	if x > i {
+		return i + 1
+	}
+	return i
+}

@@ -1,0 +1,70 @@
+package lb
+
+import (
+	"testing"
+
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/sched"
+)
+
+func inst(t *testing.T, m int) *sched.Instance {
+	t.Helper()
+	msh := mesh.RegularHex(4, 4, 4)
+	dirs, err := quadrature.Octant(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sched.NewInstance(msh, dirs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestComputeTerms(t *testing.T) {
+	in := inst(t, 16)
+	b := Compute(in)
+	if b.PerCell != 8 {
+		t.Fatalf("PerCell = %d, want 8", b.PerCell)
+	}
+	wantLoad := float64(64*8) / 16
+	if b.Load != wantLoad {
+		t.Fatalf("Load = %v, want %v", b.Load, wantLoad)
+	}
+	// Diagonal sweep on a 4x4x4 grid has 10 levels.
+	if b.CriticalPath != 10 {
+		t.Fatalf("CriticalPath = %d, want 10", b.CriticalPath)
+	}
+	if b.Max() != 32 {
+		t.Fatalf("Max = %d, want 32 (load bound)", b.Max())
+	}
+}
+
+func TestMaxPicksCriticalPathWhenDominant(t *testing.T) {
+	// With many processors the load bound collapses and D dominates.
+	in := inst(t, 4096)
+	b := Compute(in)
+	if b.Max() != b.CriticalPath {
+		t.Fatalf("Max = %d, want critical path %d", b.Max(), b.CriticalPath)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	in := inst(t, 16)
+	if r := Ratio(64, in); r != 2 {
+		t.Fatalf("Ratio = %v, want 2", r)
+	}
+	if r := StrongRatio(64, in); r != 2 {
+		t.Fatalf("StrongRatio = %v, want 2", r)
+	}
+}
+
+func TestCeil(t *testing.T) {
+	cases := map[float64]float64{1.0: 1, 1.1: 2, 0.0: 0, 2.999: 3}
+	for x, want := range cases {
+		if got := ceil(x); got != want {
+			t.Fatalf("ceil(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

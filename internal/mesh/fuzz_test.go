@@ -1,0 +1,51 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the sweepmesh decoder: it must never
+// panic, and anything it accepts must validate and re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid mesh and a few near-misses.
+	var buf bytes.Buffer
+	m := KuhnBox(BoxSpec{NX: 1, NY: 1, NZ: 1})
+	m.Name = "seed"
+	if err := Encode(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("sweepmesh 1\nname x\nverts 4\n0 0 0\n1 0 0\n0 1 0\n0 0 1\ncells 1\n0 1 2 3\n")
+	f.Add("sweepmesh 2\n")
+	f.Add("")
+	f.Add("sweepmesh 1\nname x\nverts 4\n0 0 0\n1 0 0\n0 1 0\n0 0 1\ncells 1\n0 0 0 0\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		got, err := Decode(strings.NewReader(text))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := got.Validate(); err != nil {
+			// Degenerate-but-parsable meshes (zero-volume tets from repeated
+			// vertices) are rejected by Validate; the decoder's contract is
+			// only "no panic, structurally sound tables".
+			if got.NCells() == 0 {
+				t.Fatalf("decoder accepted a mesh with no cells")
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, got); err != nil {
+			t.Fatalf("could not re-encode accepted mesh: %v", err)
+		}
+		again, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if again.NCells() != got.NCells() {
+			t.Fatalf("round trip changed cell count %d -> %d", got.NCells(), again.NCells())
+		}
+	})
+}

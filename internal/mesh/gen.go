@@ -1,0 +1,297 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sweepsched/internal/geom"
+	"sweepsched/internal/rng"
+)
+
+// BoxSpec describes a jittered Kuhn-subdivided hexahedral lattice: NX×NY×NZ
+// cubes, each split into six conforming tetrahedra sharing the main
+// diagonal. Jitter displaces interior lattice vertices by up to
+// Jitter×spacing in each coordinate, turning the metric structure
+// unstructured while preserving topology. Warp, if non-nil, maps vertex
+// positions after jitter (used for grading and anisotropy).
+type BoxSpec struct {
+	NX, NY, NZ int
+	DX, DY, DZ float64 // cell spacing per axis; 0 means 1
+	Jitter     float64 // fraction of spacing, in [0, 0.3]
+	Seed       uint64
+	Warp       func(geom.Vec3) geom.Vec3
+}
+
+// kuhnPerms are the six axis orders of the Kuhn subdivision. For each
+// permutation (a,b,c) the tetrahedron is (origin, origin+e_a, origin+e_a+e_b,
+// far corner).
+var kuhnPerms = [6][3]int{
+	{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}
+
+// KuhnBox generates the mesh described by spec. Cells are ordered
+// lexicographically by (z, y, x) cube index so that trimming the tail of the
+// cell list shortens the domain along z (see Mesh.TrimTo).
+func KuhnBox(spec BoxSpec) *Mesh {
+	nx, ny, nz := spec.NX, spec.NY, spec.NZ
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("mesh: KuhnBox with non-positive dims %dx%dx%d", nx, ny, nz))
+	}
+	dx, dy, dz := spec.DX, spec.DY, spec.DZ
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	if dz == 0 {
+		dz = 1
+	}
+	jit := spec.Jitter
+	if jit < 0 || jit > 0.3 {
+		panic(fmt.Sprintf("mesh: jitter %v outside [0, 0.3]", jit))
+	}
+
+	vx, vy, vz := nx+1, ny+1, nz+1
+	verts := make([]geom.Vec3, vx*vy*vz)
+	vid := func(i, j, k int) int32 { return int32((k*vy+j)*vx + i) }
+	r := rng.New(spec.Seed)
+	for k := 0; k < vz; k++ {
+		for j := 0; j < vy; j++ {
+			for i := 0; i < vx; i++ {
+				p := geom.Vec3{X: float64(i) * dx, Y: float64(j) * dy, Z: float64(k) * dz}
+				if jit > 0 && i > 0 && i < vx-1 && j > 0 && j < vy-1 && k > 0 && k < vz-1 {
+					p.X += (2*r.Float64() - 1) * jit * dx
+					p.Y += (2*r.Float64() - 1) * jit * dy
+					p.Z += (2*r.Float64() - 1) * jit * dz
+				}
+				if spec.Warp != nil {
+					p = spec.Warp(p)
+				}
+				verts[vid(i, j, k)] = p
+			}
+		}
+	}
+
+	cells := make([][4]int32, 0, 6*nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				origin := [3]int{i, j, k}
+				far := vid(i+1, j+1, k+1)
+				o := vid(i, j, k)
+				for _, perm := range kuhnPerms {
+					p1 := origin
+					p1[perm[0]]++
+					p2 := p1
+					p2[perm[1]]++
+					tet := [4]int32{o, vid(p1[0], p1[1], p1[2]), vid(p2[0], p2[1], p2[2]), far}
+					// Fix orientation so the signed volume is positive; with
+					// warped or jittered vertices the parity of the
+					// permutation no longer decides it statically.
+					if geom.TetVolume(verts[tet[0]], verts[tet[1]], verts[tet[2]], verts[tet[3]]) < 0 {
+						tet[1], tet[2] = tet[2], tet[1]
+					}
+					cells = append(cells, tet)
+				}
+			}
+		}
+	}
+	return FromTets("kuhnbox", verts, cells)
+}
+
+// RegularHex generates a structured nx×ny×nz hexahedral mesh (no vertex
+// table; cells are the unit cubes). It is the substrate for the KBA
+// comparator and a degenerate "very regular mesh" for tests.
+func RegularHex(nx, ny, nz int) *Mesh {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("mesh: RegularHex with non-positive dims %dx%dx%d", nx, ny, nz))
+	}
+	m := &Mesh{Name: fmt.Sprintf("hex%dx%dx%d", nx, ny, nz)}
+	cid := func(i, j, k int) int32 { return int32((k*ny+j)*nx + i) }
+	m.Centroids = make([]geom.Vec3, nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				m.Centroids[cid(i, j, k)] = geom.Vec3{X: float64(i) + 0.5, Y: float64(j) + 0.5, Z: float64(k) + 0.5}
+			}
+		}
+	}
+	addFace := func(c0, c1 int32, n geom.Vec3, fc geom.Vec3) {
+		m.Faces = append(m.Faces, Face{C0: c0, C1: c1, Normal: n, Centroid: fc})
+	}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				c := cid(i, j, k)
+				cc := m.Centroids[c]
+				// +x, +y, +z interior faces exactly once per pair; boundary
+				// faces on all six sides.
+				if i+1 < nx {
+					addFace(c, cid(i+1, j, k), geom.Vec3{X: 1}, cc.Add(geom.Vec3{X: 0.5}))
+				} else {
+					addFace(c, NoCell, geom.Vec3{X: 1}, cc.Add(geom.Vec3{X: 0.5}))
+				}
+				if i == 0 {
+					addFace(c, NoCell, geom.Vec3{X: -1}, cc.Add(geom.Vec3{X: -0.5}))
+				}
+				if j+1 < ny {
+					addFace(c, cid(i, j+1, k), geom.Vec3{Y: 1}, cc.Add(geom.Vec3{Y: 0.5}))
+				} else {
+					addFace(c, NoCell, geom.Vec3{Y: 1}, cc.Add(geom.Vec3{Y: 0.5}))
+				}
+				if j == 0 {
+					addFace(c, NoCell, geom.Vec3{Y: -1}, cc.Add(geom.Vec3{Y: -0.5}))
+				}
+				if k+1 < nz {
+					addFace(c, cid(i, j, k+1), geom.Vec3{Z: 1}, cc.Add(geom.Vec3{Z: 0.5}))
+				} else {
+					addFace(c, NoCell, geom.Vec3{Z: 1}, cc.Add(geom.Vec3{Z: 0.5}))
+				}
+				if k == 0 {
+					addFace(c, NoCell, geom.Vec3{Z: -1}, cc.Add(geom.Vec3{Z: -0.5}))
+				}
+			}
+		}
+	}
+	m.buildAdjacency()
+	return m
+}
+
+// PaperCellCounts records the cell counts of the four unstructured
+// tetrahedral meshes used in the paper's experiments (§5).
+var PaperCellCounts = map[string]int{
+	"tetonly":      31481,
+	"well_logging": 43012,
+	"long":         61737,
+	"prismtet":     118211,
+}
+
+// FamilyNames lists the synthetic mesh families in a stable order.
+func FamilyNames() []string {
+	names := make([]string, 0, len(PaperCellCounts))
+	for n := range PaperCellCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Family generates the named synthetic analogue of a paper mesh, scaled to
+// approximately scale × its paper cell count (scale 1 reproduces the paper
+// size). Supported names: tetonly, well_logging, long, prismtet. The
+// returned mesh is connected and, where the construction allows, trimmed to
+// the exact target count.
+func Family(name string, scale float64, seed uint64) (*Mesh, error) {
+	full, ok := PaperCellCounts[name]
+	if !ok {
+		return nil, fmt.Errorf("mesh: unknown family %q (want one of %v)", name, FamilyNames())
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("mesh: non-positive scale %v", scale)
+	}
+	target := int(math.Round(float64(full) * scale))
+	if target < 24 {
+		target = 24
+	}
+	var m *Mesh
+	switch name {
+	case "tetonly":
+		m = TetOnly(target, seed)
+	case "well_logging":
+		m = WellLogging(target, seed)
+	case "long":
+		m = Long(target, seed)
+	case "prismtet":
+		m = PrismTet(target, seed)
+	}
+	return m, nil
+}
+
+// TetOnly builds a roughly cubical jittered tetrahedral mesh with about n
+// cells, the analogue of the paper's smallest mesh.
+func TetOnly(n int, seed uint64) *Mesh {
+	s := sideFor(n, 1, 1, 1)
+	m := KuhnBox(BoxSpec{NX: s, NY: s, NZ: s, Jitter: 0.18, Seed: seed})
+	m.Name = "tetonly"
+	return trimTowards(m, n)
+}
+
+// Long builds an elongated 16:1:1 bar, the analogue of the paper's "long"
+// mesh. Long thin meshes have narrow DAG levels, stressing the schedulers.
+func Long(n int, seed uint64) *Mesh {
+	r := sideFor(n, 16, 1, 1)
+	m := KuhnBox(BoxSpec{NX: 16 * r, NY: r, NZ: r, Jitter: 0.18, Seed: seed})
+	m.Name = "long"
+	return trimTowards(m, n)
+}
+
+// WellLogging builds a borehole-like annular cylinder: a box masked to
+// 0.15 ≤ radius ≤ 1 around the z axis with mild radial grading, the analogue
+// of the paper's well_logging mesh.
+func WellLogging(n int, seed uint64) *Mesh {
+	// Keep fraction of the annulus within the square is about
+	// π(1-0.15²)/4 ≈ 0.768; oversize the box accordingly.
+	boxTarget := int(float64(n)/0.74) + 6
+	s := sideFor(boxTarget, 1, 1, 1)
+	if s < 4 {
+		s = 4
+	}
+	half := float64(s) / 2
+	warp := func(p geom.Vec3) geom.Vec3 {
+		// Radial grading: compress towards the borehole wall so cells are
+		// finer near the instrument, as in real well-logging meshes.
+		x := (p.X - half) / half
+		y := (p.Y - half) / half
+		r := math.Hypot(x, y)
+		if r > 1e-12 {
+			g := math.Pow(r, 1.25) / r
+			x, y = x*g, y*g
+		}
+		return geom.Vec3{X: x, Y: y, Z: p.Z / half}
+	}
+	m := KuhnBox(BoxSpec{NX: s, NY: s, NZ: s, Jitter: 0.15, Seed: seed, Warp: warp})
+	const rMin, rMax = 0.15, 0.995
+	keep := make([]bool, m.NCells())
+	for c := 0; c < m.NCells(); c++ {
+		p := m.Centroids[c]
+		r := math.Hypot(p.X, p.Y)
+		keep[c] = r >= rMin && r <= rMax
+	}
+	m = m.SubMesh("well_logging", keep).LargestComponent()
+	return trimTowards(m, n)
+}
+
+// PrismTet builds a large anisotropic mesh with thin graded z-layers, the
+// analogue of the paper's prismtet mesh (prisms decomposed into tets produce
+// exactly this kind of flattened tet stack).
+func PrismTet(n int, seed uint64) *Mesh {
+	// Flatter, slightly wider than tall: nx = ny, nz = 0.8 nx, dz = 0.35.
+	nx := 1
+	for 6*nx*nx*(4*nx/5+1) < n {
+		nx++
+	}
+	nz := 4*nx/5 + 1
+	m := KuhnBox(BoxSpec{NX: nx, NY: nx, NZ: nz, DZ: 0.35, Jitter: 0.12, Seed: seed})
+	m.Name = "prismtet"
+	return trimTowards(m, n)
+}
+
+// sideFor returns the smallest r with 6·(ax·r)·(ay·r)·(az·r) ≥ n.
+func sideFor(n, ax, ay, az int) int {
+	r := 1
+	for 6*ax*r*ay*r*az*r < n {
+		r++
+	}
+	return r
+}
+
+// trimTowards trims m to exactly n cells when it has at least n; otherwise
+// it returns m unchanged (mask-based families may undershoot slightly).
+func trimTowards(m *Mesh, n int) *Mesh {
+	if m.NCells() > n {
+		return m.TrimTo(n)
+	}
+	return m
+}

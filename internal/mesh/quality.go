@@ -1,0 +1,121 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"sweepsched/internal/geom"
+)
+
+// Mesh quality metrics. Jittered synthetic meshes must stay well-shaped for
+// the sweep DAGs to resemble those of real unstructured meshes; these
+// metrics quantify that (and meshgen prints them).
+
+// Quality summarizes element shape over a tetrahedral mesh.
+type Quality struct {
+	// MinVolume and MaxVolume are signed tet volumes (all positive on a
+	// valid mesh).
+	MinVolume, MaxVolume float64
+	// AspectMin/Mean/Max is the classic radius-ratio aspect quality
+	// 3·r_in/R_circ per tet: 1 for the regular tetrahedron, → 0 as the
+	// element degenerates.
+	AspectMin, AspectMean, AspectMax float64
+	// VolumeRatio is MaxVolume / MinVolume, the grading of the mesh.
+	VolumeRatio float64
+}
+
+// ComputeQuality evaluates the metrics. It errors on meshes without a
+// vertex/cell table (derived cell graphs have no element geometry).
+func (m *Mesh) ComputeQuality() (Quality, error) {
+	if m.Verts == nil || m.Cells == nil {
+		return Quality{}, fmt.Errorf("mesh: %q has no element geometry", m.Name)
+	}
+	q := Quality{MinVolume: math.Inf(1), MaxVolume: math.Inf(-1), AspectMin: math.Inf(1)}
+	var sum float64
+	for _, tet := range m.Cells {
+		a, b, c, d := m.Verts[tet[0]], m.Verts[tet[1]], m.Verts[tet[2]], m.Verts[tet[3]]
+		vol := geom.TetVolume(a, b, c, d)
+		if vol < q.MinVolume {
+			q.MinVolume = vol
+		}
+		if vol > q.MaxVolume {
+			q.MaxVolume = vol
+		}
+		ar := radiusRatio(a, b, c, d, vol)
+		if ar < q.AspectMin {
+			q.AspectMin = ar
+		}
+		if ar > q.AspectMax {
+			q.AspectMax = ar
+		}
+		sum += ar
+	}
+	q.AspectMean = sum / float64(len(m.Cells))
+	if q.MinVolume > 0 {
+		q.VolumeRatio = q.MaxVolume / q.MinVolume
+	} else {
+		q.VolumeRatio = math.Inf(1)
+	}
+	return q, nil
+}
+
+// radiusRatio returns 3·r_in/R_circ ∈ (0, 1], the normalized radius-ratio
+// quality of a tetrahedron.
+func radiusRatio(a, b, c, d geom.Vec3, vol float64) float64 {
+	if vol <= 0 {
+		return 0
+	}
+	// Inradius: r = 3V / (sum of face areas).
+	area := func(p, q, r geom.Vec3) float64 {
+		return geom.TriangleNormal(p, q, r).Norm() / 2
+	}
+	s := area(b, c, d) + area(a, c, d) + area(a, b, d) + area(a, b, c)
+	if s <= 0 {
+		return 0
+	}
+	rIn := 3 * vol / s
+	// Circumradius via the standard formula R = |p|·|q|·|r| ... use the
+	// general expression R = sqrt((|AB|²|CD|² ...)) is messy; instead solve
+	// the circumcenter linear system.
+	R, ok := circumradius(a, b, c, d)
+	if !ok || R <= 0 {
+		return 0
+	}
+	v := 3 * rIn / R
+	if v > 1 {
+		v = 1 // numerical round-off on near-regular elements
+	}
+	return v
+}
+
+// circumradius solves for the circumcenter (equidistant point) of the tet.
+func circumradius(a, b, c, d geom.Vec3) (float64, bool) {
+	// 2 (p_i - a) · x = |p_i|² - |a|², for p_i in {b, c, d}.
+	rows := [3]geom.Vec3{b.Sub(a), c.Sub(a), d.Sub(a)}
+	rhs := [3]float64{
+		(b.Dot(b) - a.Dot(a)) / 2,
+		(c.Dot(c) - a.Dot(a)) / 2,
+		(d.Dot(d) - a.Dot(a)) / 2,
+	}
+	det := rows[0].Dot(rows[1].Cross(rows[2]))
+	if math.Abs(det) < 1e-300 {
+		return 0, false
+	}
+	// Cramer's rule.
+	solve := func(col int) float64 {
+		m := rows
+		for i := 0; i < 3; i++ {
+			switch col {
+			case 0:
+				m[i].X = rhs[i]
+			case 1:
+				m[i].Y = rhs[i]
+			case 2:
+				m[i].Z = rhs[i]
+			}
+		}
+		return m[0].Dot(m[1].Cross(m[2])) / det
+	}
+	center := geom.Vec3{X: solve(0), Y: solve(1), Z: solve(2)}
+	return center.Sub(a).Norm(), true
+}

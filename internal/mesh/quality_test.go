@@ -1,0 +1,88 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"sweepsched/internal/geom"
+)
+
+func TestRadiusRatioRegularTet(t *testing.T) {
+	// Regular tetrahedron: quality exactly 1.
+	a := geom.Vec3{X: 1, Y: 1, Z: 1}
+	b := geom.Vec3{X: 1, Y: -1, Z: -1}
+	c := geom.Vec3{X: -1, Y: 1, Z: -1}
+	d := geom.Vec3{X: -1, Y: -1, Z: 1}
+	vol := geom.TetVolume(a, b, c, d)
+	if vol <= 0 {
+		a, b = b, a
+		vol = geom.TetVolume(a, b, c, d)
+	}
+	q := radiusRatio(a, b, c, d, vol)
+	if math.Abs(q-1) > 1e-9 {
+		t.Fatalf("regular tet quality %v, want 1", q)
+	}
+}
+
+func TestRadiusRatioDegenerate(t *testing.T) {
+	// Nearly flat tet: quality near 0.
+	a := geom.Vec3{}
+	b := geom.Vec3{X: 1}
+	c := geom.Vec3{Y: 1}
+	d := geom.Vec3{X: 0.5, Y: 0.5, Z: 1e-6}
+	vol := geom.TetVolume(a, b, c, d)
+	q := radiusRatio(a, b, c, d, vol)
+	if q > 0.01 {
+		t.Fatalf("flat tet quality %v, want ~0", q)
+	}
+	if radiusRatio(a, b, c, d, -1) != 0 {
+		t.Fatal("negative volume should give quality 0")
+	}
+}
+
+func TestCircumradiusUnitTet(t *testing.T) {
+	// Right tet at origin with unit legs: circumcenter (0.5,0.5,0.5),
+	// R = sqrt(3)/2.
+	R, ok := circumradius(geom.Vec3{}, geom.Vec3{X: 1}, geom.Vec3{Y: 1}, geom.Vec3{Z: 1})
+	if !ok {
+		t.Fatal("singular")
+	}
+	if math.Abs(R-math.Sqrt(3)/2) > 1e-12 {
+		t.Fatalf("R = %v, want sqrt(3)/2", R)
+	}
+	// Coplanar points: no circumsphere.
+	if _, ok := circumradius(geom.Vec3{}, geom.Vec3{X: 1}, geom.Vec3{Y: 1}, geom.Vec3{X: 1, Y: 1}); ok {
+		t.Fatal("coplanar points produced a circumradius")
+	}
+}
+
+func TestComputeQualityOnFamilies(t *testing.T) {
+	for _, name := range FamilyNames() {
+		m, err := Family(name, 0.02, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := m.ComputeQuality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.MinVolume <= 0 {
+			t.Fatalf("%s: non-positive min volume %v", name, q.MinVolume)
+		}
+		if q.AspectMin <= 0.02 {
+			t.Fatalf("%s: degenerate element (aspect %v)", name, q.AspectMin)
+		}
+		if q.AspectMean < 0.3 {
+			t.Fatalf("%s: mean aspect %v too low for a usable mesh", name, q.AspectMean)
+		}
+		if q.AspectMax > 1+1e-9 {
+			t.Fatalf("%s: aspect %v above 1", name, q.AspectMax)
+		}
+	}
+}
+
+func TestComputeQualityRequiresGeometry(t *testing.T) {
+	if _, err := RegularHex(2, 2, 2).ComputeQuality(); err == nil {
+		t.Fatal("derived mesh accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		var count int64
+		hit := make([]int32, 50)
+		err := ForEach(50, workers, func(i int) error {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != 50 {
+			t.Fatalf("workers=%d: ran %d of 50", workers, count)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	e3 := errors.New("three")
+	e7 := errors.New("seven")
+	err := ForEach(10, 1, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want error from index 3", err)
+	}
+}
+
+func TestForEachParallelErrorStops(t *testing.T) {
+	var ran int64
+	err := ForEach(10000, 4, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 5 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if atomic.LoadInt64(&ran) == 10000 {
+		t.Log("note: all indices ran before the error propagated (allowed but unusual)")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(5, 2, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+}
+
+func TestQuickForEachCoversAllIndices(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw % 64)
+		w := int(wRaw % 8)
+		hit := make([]int32, n)
+		if err := ForEach(n, w, func(i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		}); err != nil {
+			return false
+		}
+		for _, h := range hit {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sweepsched/internal/geom"
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/rng"
+)
+
+func TestSpreadInterleave(t *testing.T) {
+	if spread(0b111) != 0b1001001 {
+		t.Fatalf("spread(0b111) = %b", spread(0b111))
+	}
+	// interleave3(1,0,0)=1, (0,1,0)=2, (0,0,1)=4.
+	if interleave3(1, 0, 0) != 1 || interleave3(0, 1, 0) != 2 || interleave3(0, 0, 1) != 4 {
+		t.Fatal("axis bit placement wrong")
+	}
+	// All 21 bits used, none collide.
+	full := uint64(1<<21) - 1
+	x, y, z := interleave3(full, 0, 0), interleave3(0, full, 0), interleave3(0, 0, full)
+	if x&y != 0 || x&z != 0 || y&z != 0 {
+		t.Fatal("interleaved axes overlap")
+	}
+	if x|y|z != interleave3(full, full, full) {
+		t.Fatal("interleave not a bitwise union of axes")
+	}
+}
+
+func TestMortonCodeOrdering(t *testing.T) {
+	box := geom.AABB{Min: geom.Vec3{}, Max: geom.Vec3{X: 1, Y: 1, Z: 1}}
+	origin := MortonCode(geom.Vec3{X: 0.01, Y: 0.01, Z: 0.01}, box)
+	far := MortonCode(geom.Vec3{X: 0.99, Y: 0.99, Z: 0.99}, box)
+	if origin >= far {
+		t.Fatalf("origin code %d >= far code %d", origin, far)
+	}
+	// Out-of-box points clamp rather than wrap.
+	below := MortonCode(geom.Vec3{X: -5, Y: -5, Z: -5}, box)
+	if below != 0 {
+		t.Fatalf("below-box code %d, want 0", below)
+	}
+}
+
+func TestMortonBlocksBalanced(t *testing.T) {
+	m := mesh.KuhnBox(mesh.BoxSpec{NX: 5, NY: 5, NZ: 5, Jitter: 0.15, Seed: 3})
+	part, nBlocks, err := MortonBlocks(m.Centroids, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (m.NCells() + 49) / 50
+	if nBlocks != want {
+		t.Fatalf("nBlocks = %d, want %d", nBlocks, want)
+	}
+	counts := make([]int, nBlocks)
+	for _, b := range part {
+		if b < 0 || int(b) >= nBlocks {
+			t.Fatalf("label %d out of range", b)
+		}
+		counts[b]++
+	}
+	for b, c := range counts[:nBlocks-1] {
+		if c != 50 {
+			t.Fatalf("block %d holds %d cells, want 50", b, c)
+		}
+	}
+}
+
+func TestMortonBlocksLocality(t *testing.T) {
+	// SFC blocks must cut far fewer edges than a random assignment of cells
+	// to the same number of blocks.
+	m := mesh.KuhnBox(mesh.BoxSpec{NX: 6, NY: 6, NZ: 6, Jitter: 0.15, Seed: 4})
+	g := FromMesh(m)
+	part, nBlocks, err := MortonBlocks(m.Centroids, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfcCut := EdgeCut(g, part)
+	r := rng.New(5)
+	randPart := make([]int32, g.N)
+	for v := range randPart {
+		randPart[v] = int32(r.Intn(nBlocks))
+	}
+	randCut := EdgeCut(g, randPart)
+	if sfcCut*3 > randCut {
+		t.Fatalf("SFC cut %d not clearly below random cut %d", sfcCut, randCut)
+	}
+}
+
+func TestMortonBlocksErrors(t *testing.T) {
+	if _, _, err := MortonBlocks(nil, 4); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	if _, _, err := MortonBlocks([]geom.Vec3{{}}, 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestMortonBlocksDeterministic(t *testing.T) {
+	m := mesh.KuhnBox(mesh.BoxSpec{NX: 4, NY: 4, NZ: 4, Jitter: 0.2, Seed: 6})
+	a, _, _ := MortonBlocks(m.Centroids, 32)
+	b, _, _ := MortonBlocks(m.Centroids, 32)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("SFC blocks nondeterministic at %d", v)
+		}
+	}
+}
+
+func TestQuickMortonBlocksCover(t *testing.T) {
+	f := func(seed uint64, bsRaw uint8) bool {
+		bs := int(bsRaw%40) + 1
+		m := mesh.KuhnBox(mesh.BoxSpec{NX: 3, NY: 2, NZ: 2, Jitter: 0.1, Seed: seed})
+		part, nBlocks, err := MortonBlocks(m.Centroids, bs)
+		if err != nil {
+			return false
+		}
+		for _, b := range part {
+			if b < 0 || int(b) >= nBlocks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package sched
+
+import "fmt"
+
+// BucketListSchedule is ListSchedule specialized for small non-negative
+// integer priorities (levels and delayed levels always are): per-processor
+// bucket queues replace the binary heaps, making every ready-queue
+// operation O(1). It produces exactly the same schedule as ListSchedule for
+// the same inputs (both pop the smallest (priority, TaskID) pair).
+//
+// The priority range is validated: all priorities must lie in [0, maxPrio]
+// with maxPrio bounded by MaxBucketPriority.
+func BucketListSchedule(inst *Instance, assign Assignment, prio Priorities) (*Schedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	maxPrio := int64(0)
+	for t, p := range prio {
+		if p < 0 {
+			return nil, fmt.Errorf("sched: bucket scheduling needs non-negative priorities (task %d has %d)", t, p)
+		}
+		if p > maxPrio {
+			maxPrio = p
+		}
+	}
+	if maxPrio > MaxBucketPriority {
+		return nil, fmt.Errorf("sched: priority range %d exceeds bucket limit %d", maxPrio, MaxBucketPriority)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	// Per-processor bucket queues. buckets[p][q] holds ready tasks of
+	// priority q in FIFO-of-sorted-batches order; because ties must break
+	// on TaskID exactly like the heap implementation, each bucket is kept
+	// as a sorted-ascending slice consumed from the front, with insertion
+	// positions found by binary search. Inserts cluster near the back in
+	// practice (successors have larger ids within a level), so the expected
+	// shift cost is tiny.
+	type bucketQueue struct {
+		buckets [][]TaskID
+		lowest  int64 // smallest non-empty bucket index, or len(buckets)
+		size    int
+	}
+	queues := make([]bucketQueue, inst.M)
+	nb := int(maxPrio) + 1
+	for p := range queues {
+		queues[p].buckets = make([][]TaskID, nb)
+		queues[p].lowest = int64(nb)
+	}
+	push := func(t TaskID) {
+		v, _ := inst.Split(t)
+		q := &queues[assign[v]]
+		b := prio[t]
+		bucket := q.buckets[b]
+		// Binary search for the insertion point (ascending TaskID).
+		lo, hi := 0, len(bucket)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if bucket[mid] < t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bucket = append(bucket, 0)
+		copy(bucket[lo+1:], bucket[lo:])
+		bucket[lo] = t
+		q.buckets[b] = bucket
+		if b < q.lowest {
+			q.lowest = b
+		}
+		q.size++
+	}
+	pop := func(p int) (TaskID, bool) {
+		q := &queues[p]
+		if q.size == 0 {
+			return 0, false
+		}
+		for q.lowest < int64(nb) && len(q.buckets[q.lowest]) == 0 {
+			q.lowest++
+		}
+		bucket := q.buckets[q.lowest]
+		t := bucket[0]
+		q.buckets[q.lowest] = bucket[1:]
+		q.size--
+		if q.size == 0 {
+			q.lowest = int64(nb)
+		}
+		return t, true
+	}
+
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			push(TaskID(t))
+		}
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completed := make([]TaskID, 0, inst.M)
+	for step := int32(0); remaining > 0; step++ {
+		completed = completed[:0]
+		for p := 0; p < inst.M; p++ {
+			if t, ok := pop(p); ok {
+				start[t] = step
+				remaining--
+				completed = append(completed, t)
+			}
+		}
+		if len(completed) == 0 {
+			return nil, fmt.Errorf("sched: bucket deadlock at step %d with %d remaining", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					push(wt)
+				}
+			}
+		}
+	}
+	s := &Schedule{Inst: inst, Assign: assign, Start: start}
+	s.computeMakespan()
+	return s, nil
+}
+
+// MaxBucketPriority bounds the priority range BucketListSchedule accepts;
+// level-based priorities are at most D + k, far below this.
+const MaxBucketPriority = 1 << 22

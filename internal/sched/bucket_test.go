@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+)
+
+// levelPrio builds the Algorithm 2-style priorities used in practice.
+func levelPrio(inst *Instance, r *rng.Source) Priorities {
+	n := int32(inst.N())
+	prio := make(Priorities, inst.NTasks())
+	for i, d := range inst.DAGs {
+		delay := int64(r.Intn(inst.K()))
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = int64(d.Level[v]) + delay
+		}
+	}
+	return prio
+}
+
+func TestBucketMatchesHeapExactly(t *testing.T) {
+	for _, m := range []int{1, 3, 8} {
+		inst := testInstance(t, 3, 8, m, 31)
+		r := rng.New(uint64(m))
+		assign := RandomAssignment(inst.N(), m, r)
+		prio := levelPrio(inst, r)
+		a, err := ListSchedule(inst, assign, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BucketListSchedule(inst, assign, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Makespan != b.Makespan {
+			t.Fatalf("m=%d: makespans differ %d vs %d", m, a.Makespan, b.Makespan)
+		}
+		for tid := range a.Start {
+			if a.Start[tid] != b.Start[tid] {
+				t.Fatalf("m=%d task %d: heap start %d != bucket start %d",
+					m, tid, a.Start[tid], b.Start[tid])
+			}
+		}
+	}
+}
+
+func TestBucketRejectsNegativeAndHugePriorities(t *testing.T) {
+	inst := testInstance(t, 2, 4, 2, 32)
+	assign := RandomAssignment(inst.N(), inst.M, rng.New(1))
+	bad := make(Priorities, inst.NTasks())
+	bad[0] = -1
+	if _, err := BucketListSchedule(inst, assign, bad); err == nil {
+		t.Fatal("negative priority accepted")
+	}
+	bad[0] = MaxBucketPriority + 1
+	if _, err := BucketListSchedule(inst, assign, bad); err == nil {
+		t.Fatal("huge priority accepted")
+	}
+}
+
+func TestBucketNilPriorities(t *testing.T) {
+	inst := testInstance(t, 2, 4, 2, 33)
+	assign := RandomAssignment(inst.N(), inst.M, rng.New(2))
+	a, err := ListSchedule(inst, assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BucketListSchedule(inst, assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := range a.Start {
+		if a.Start[tid] != b.Start[tid] {
+			t.Fatalf("task %d differs with nil priorities", tid)
+		}
+	}
+}
+
+func TestQuickBucketEquivalence(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw%6) + 1
+		msh := mesh.KuhnBox(mesh.BoxSpec{NX: 2, NY: 2, NZ: 2, Jitter: 0.15, Seed: seed})
+		dirs, _ := quadrature.Octant(4)
+		inst, err := NewInstance(msh, dirs, m)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed ^ 0x77)
+		assign := RandomAssignment(inst.N(), m, r)
+		prio := levelPrio(inst, r)
+		a, err := ListSchedule(inst, assign, prio)
+		if err != nil {
+			return false
+		}
+		b, err := BucketListSchedule(inst, assign, prio)
+		if err != nil {
+			return false
+		}
+		for tid := range a.Start {
+			if a.Start[tid] != b.Start[tid] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHeapListSchedule(b *testing.B) {
+	inst := testInstance(b, 6, 24, 32, 1)
+	r := rng.New(1)
+	assign := RandomAssignment(inst.N(), inst.M, r)
+	prio := levelPrio(inst, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ListSchedule(inst, assign, prio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBucketListSchedule(b *testing.B) {
+	inst := testInstance(b, 6, 24, 32, 1)
+	r := rng.New(1)
+	assign := RandomAssignment(inst.N(), inst.M, r)
+	prio := levelPrio(inst, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BucketListSchedule(inst, assign, prio); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

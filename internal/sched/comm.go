@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// This file implements the paper's uniform-communication-cost model (§3:
+// "there exists a communication cost of uniform time c between
+// processors"): when a task's predecessor ran on a different processor, the
+// task becomes available only c steps after that predecessor completes.
+// §5.1 sketches trading processing time against communication through block
+// partitioning; ListScheduleComm makes that trade-off measurable.
+
+// ListScheduleComm runs priority list scheduling under the uniform
+// communication-delay model: an edge ((u,i),(v,i)) whose endpoints are on
+// different processors delays (v,i)'s availability by commDelay extra
+// steps. commDelay = 0 reduces to ListSchedule.
+func ListScheduleComm(inst *Instance, assign Assignment, prio Priorities, commDelay int) (*Schedule, error) {
+	if commDelay < 0 {
+		return nil, fmt.Errorf("sched: negative communication delay %d", commDelay)
+	}
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	readyAt := make([]int32, nt) // earliest permitted start
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	heaps := make([]taskHeap, inst.M)
+	for p := range heaps {
+		heaps[p].prio = prio
+	}
+	future := map[int32][]TaskID{}
+	pendingFuture := 0
+	makeAvailable := func(t TaskID, now int32) {
+		if readyAt[t] > now {
+			future[readyAt[t]] = append(future[readyAt[t]], t)
+			pendingFuture++
+			return
+		}
+		v, _ := inst.Split(t)
+		heap.Push(&heaps[assign[v]], t)
+	}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			makeAvailable(TaskID(t), 0)
+		}
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completed := make([]TaskID, 0, inst.M)
+	cd := int32(commDelay)
+
+	for step := int32(0); remaining > 0; step++ {
+		if pendingFuture > 0 {
+			if due, ok := future[step]; ok {
+				for _, t := range due {
+					v, _ := inst.Split(t)
+					heap.Push(&heaps[assign[v]], t)
+				}
+				pendingFuture -= len(due)
+				delete(future, step)
+			}
+		}
+		completed = completed[:0]
+		for p := 0; p < inst.M; p++ {
+			h := &heaps[p]
+			if h.Len() == 0 {
+				continue
+			}
+			t := heap.Pop(h).(TaskID)
+			start[t] = step
+			remaining--
+			completed = append(completed, t)
+		}
+		if len(completed) == 0 && pendingFuture == 0 {
+			return nil, fmt.Errorf("sched: comm-delay deadlock at step %d with %d remaining", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			p := assign[v]
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				avail := step + 1
+				if assign[w] != p {
+					avail += cd
+				}
+				if avail > readyAt[wt] {
+					readyAt[wt] = avail
+				}
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					makeAvailable(wt, step+1)
+				}
+			}
+		}
+	}
+
+	s := &Schedule{Inst: inst, Assign: assign, Start: start}
+	s.computeMakespan()
+	return s, nil
+}
+
+// ValidateComm checks the communication-delay feasibility of a schedule:
+// every cross-processor edge leaves at least commDelay idle steps between
+// predecessor completion and successor start (on top of the base
+// constraints, which the caller checks with Validate).
+func ValidateComm(s *Schedule, commDelay int) error {
+	inst := s.Inst
+	n := int32(inst.N())
+	cd := int32(commDelay)
+	for i, d := range inst.DAGs {
+		base := TaskID(int32(i) * n)
+		for u := int32(0); u < n; u++ {
+			su := s.Start[base+TaskID(u)]
+			pu := s.Assign[u]
+			for _, w := range d.Out(u) {
+				gap := int32(1)
+				if s.Assign[w] != pu {
+					gap += cd
+				}
+				if s.Start[base+TaskID(w)] < su+gap {
+					return fmt.Errorf("sched: comm gap violated on edge (%d,%d)->(%d,%d): %d -> %d (need +%d)",
+						u, i, w, i, su, s.Start[base+TaskID(w)], gap)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RealizedMakespan returns the end-to-end time of a schedule when every
+// computation step is followed by an explicit synchronous communication
+// round of the C2 model: makespan + C2. This is the "both objectives at
+// once" cost the two measures of §5 bracket.
+func RealizedMakespan(s *Schedule) int64 {
+	return int64(s.Makespan) + C2(s)
+}

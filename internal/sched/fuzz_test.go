@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeTrace feeds arbitrary bytes to the trace decoder: no panics,
+// and anything accepted must round-trip losslessly.
+func FuzzDecodeTrace(f *testing.F) {
+	f.Add("sweeptrace 1\nshape 2 2 2 2\nassign 0 1\nstart 0 0 1 1\n")
+	f.Add("sweeptrace 1\nshape 1 1 1 1\nassign 0\nstart 0\n")
+	f.Add("sweeptrace 2\n")
+	f.Add("")
+	f.Add("sweeptrace 1\nshape 3 1 2 3\nassign 0 1 0\nstart 2 1 0\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := DecodeTrace(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeTrace(&buf, s); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := DecodeTrace(&buf)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if again.Makespan != s.Makespan || again.Inst.NTasks() != s.Inst.NTasks() {
+			t.Fatal("round trip changed the schedule shape")
+		}
+		for i := range s.Start {
+			if s.Start[i] != again.Start[i] {
+				t.Fatalf("round trip changed start[%d]", i)
+			}
+		}
+	})
+}

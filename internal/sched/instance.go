@@ -1,0 +1,190 @@
+// Package sched is the sweep-scheduling engine: problem instances (mesh +
+// per-direction DAGs + processor count), cell-to-processor assignments,
+// priority-driven list scheduling, layer-synchronous scheduling, schedule
+// validation, and the paper's objective functions (makespan, C1, C2).
+//
+// A task is a (cell, direction) pair. The defining constraint of sweep
+// scheduling — every copy of a cell runs on the same processor in every
+// direction (§3, constraint 3) — is enforced structurally: assignments map
+// cells (not tasks) to processors, so schedules cannot violate it.
+package sched
+
+import (
+	"fmt"
+
+	"sweepsched/internal/dag"
+	"sweepsched/internal/geom"
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/rng"
+)
+
+// TaskID identifies a (cell, direction) pair as i*n + v.
+type TaskID int32
+
+// Instance is a sweep-scheduling problem: n cells, k direction DAGs and m
+// processors.
+type Instance struct {
+	Mesh *mesh.Mesh
+	Dirs []geom.Vec3
+	DAGs []*dag.DAG
+	M    int
+}
+
+// NewInstance builds the per-direction DAGs for the mesh and wraps them in
+// an Instance. It returns an error for invalid m or empty direction sets.
+func NewInstance(m *mesh.Mesh, dirs []geom.Vec3, procs int) (*Instance, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", procs)
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("sched: need at least one direction")
+	}
+	return &Instance{Mesh: m, Dirs: dirs, DAGs: dag.BuildAll(m, dirs), M: procs}, nil
+}
+
+// FromDAGs wraps pre-built DAGs (all over the same cell set) in an Instance;
+// used by synthetic/non-geometric tests. Mesh may be nil.
+func FromDAGs(dags []*dag.DAG, procs int) (*Instance, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", procs)
+	}
+	if len(dags) == 0 {
+		return nil, fmt.Errorf("sched: need at least one DAG")
+	}
+	n := dags[0].N
+	for i, d := range dags {
+		if d.N != n {
+			return nil, fmt.Errorf("sched: DAG %d has %d cells, want %d", i, d.N, n)
+		}
+	}
+	return &Instance{DAGs: dags, M: procs}, nil
+}
+
+// N returns the number of cells.
+func (inst *Instance) N() int { return inst.DAGs[0].N }
+
+// K returns the number of directions.
+func (inst *Instance) K() int { return len(inst.DAGs) }
+
+// NTasks returns n·k.
+func (inst *Instance) NTasks() int { return inst.N() * inst.K() }
+
+// Task returns the TaskID of cell v in direction i.
+func (inst *Instance) Task(v, i int32) TaskID { return TaskID(i*int32(inst.N()) + v) }
+
+// Split decomposes a TaskID into (cell, direction).
+func (inst *Instance) Split(t TaskID) (v, i int32) {
+	n := int32(inst.N())
+	return int32(t) % n, int32(t) / n
+}
+
+// Assignment maps every cell to a processor in [0, M).
+type Assignment []int32
+
+// RandomAssignment assigns each cell independently and uniformly at random
+// to one of m processors — step 3 of Algorithms 1-3.
+func RandomAssignment(n, m int, r *rng.Source) Assignment {
+	a := make(Assignment, n)
+	for v := range a {
+		a[v] = int32(r.Intn(m))
+	}
+	return a
+}
+
+// BlockAssignment assigns each block a uniformly random processor and every
+// cell its block's processor — the §5.1 block-partitioning variant. part
+// maps cells to blocks 0..nBlocks-1.
+func BlockAssignment(part []int32, nBlocks, m int, r *rng.Source) Assignment {
+	blockProc := make([]int32, nBlocks)
+	for b := range blockProc {
+		blockProc[b] = int32(r.Intn(m))
+	}
+	a := make(Assignment, len(part))
+	for v, b := range part {
+		a[v] = blockProc[b]
+	}
+	return a
+}
+
+// Validate checks that the assignment covers every cell with a processor in
+// range.
+func (a Assignment) Validate(n, m int) error {
+	if len(a) != n {
+		return fmt.Errorf("sched: assignment covers %d of %d cells", len(a), n)
+	}
+	for v, p := range a {
+		if p < 0 || int(p) >= m {
+			return fmt.Errorf("sched: cell %d assigned to processor %d (m=%d)", v, p, m)
+		}
+	}
+	return nil
+}
+
+// Schedule is a complete solution: an assignment plus a start timestep for
+// every task (unit processing time, so the task occupies exactly its start
+// step).
+type Schedule struct {
+	Inst     *Instance
+	Assign   Assignment
+	Start    []int32
+	Makespan int
+}
+
+// computeMakespan refreshes Makespan from Start.
+func (s *Schedule) computeMakespan() {
+	max := int32(-1)
+	for _, t := range s.Start {
+		if t > max {
+			max = t
+		}
+	}
+	s.Makespan = int(max) + 1
+}
+
+// Validate checks the three feasibility constraints of §3: precedence
+// within every direction DAG, one task per processor per step, and (by
+// construction of Assignment) all copies of a cell on one processor. It
+// also checks every task was scheduled.
+func (s *Schedule) Validate() error {
+	inst := s.Inst
+	if err := s.Assign.Validate(inst.N(), inst.M); err != nil {
+		return err
+	}
+	if len(s.Start) != inst.NTasks() {
+		return fmt.Errorf("sched: schedule covers %d of %d tasks", len(s.Start), inst.NTasks())
+	}
+	for t, st := range s.Start {
+		if st < 0 {
+			return fmt.Errorf("sched: task %d unscheduled (start %d)", t, st)
+		}
+	}
+	// Precedence.
+	n := int32(inst.N())
+	for i, d := range inst.DAGs {
+		base := TaskID(int32(i) * n)
+		for u := int32(0); u < n; u++ {
+			su := s.Start[base+TaskID(u)]
+			for _, w := range d.Out(u) {
+				if s.Start[base+TaskID(w)] <= su {
+					return fmt.Errorf("sched: precedence violated in dir %d: (%d)@%d !< (%d)@%d",
+						i, u, su, w, s.Start[base+TaskID(w)])
+				}
+			}
+		}
+	}
+	// Processor exclusivity: no processor runs two tasks in one step.
+	type slot struct {
+		p int32
+		t int32
+	}
+	seen := make(map[slot]TaskID, len(s.Start))
+	for tid, st := range s.Start {
+		v, _ := inst.Split(TaskID(tid))
+		key := slot{s.Assign[v], st}
+		if prev, ok := seen[key]; ok {
+			return fmt.Errorf("sched: processor %d runs tasks %d and %d at step %d", key.p, prev, tid, st)
+		}
+		seen[key] = TaskID(tid)
+	}
+	return nil
+}

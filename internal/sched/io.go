@@ -1,0 +1,109 @@
+package sched
+
+// A plain-text schedule trace format: enough to replay, inspect or render
+// a schedule (n, k, m, per-cell assignment, per-task start step) without
+// the mesh or DAGs. cmd/sweepsim writes traces, cmd/sweepview renders them.
+//
+//	sweeptrace 1
+//	shape <n> <k> <m> <makespan>
+//	assign <n ints>
+//	start <nk ints>
+//
+// Decoded traces carry empty dependence graphs, so structural views
+// (Gantt, utilization, per-processor load) are exact, while anything that
+// needs edges (validation, C1, C2) is meaningless and should not be
+// computed on them.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"sweepsched/internal/dag"
+)
+
+// traceVersion is the current sweeptrace format version.
+const traceVersion = 1
+
+// EncodeTrace writes the schedule's trace.
+func EncodeTrace(w io.Writer, s *Schedule) error {
+	bw := bufio.NewWriter(w)
+	inst := s.Inst
+	fmt.Fprintf(bw, "sweeptrace %d\n", traceVersion)
+	fmt.Fprintf(bw, "shape %d %d %d %d\n", inst.N(), inst.K(), inst.M, s.Makespan)
+	fmt.Fprint(bw, "assign")
+	for _, p := range s.Assign {
+		fmt.Fprintf(bw, " %d", p)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, "start")
+	for _, st := range s.Start {
+		fmt.Fprintf(bw, " %d", st)
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}
+
+// DecodeTrace reads a trace and reconstructs a Schedule over an instance
+// with empty dependence graphs (see the package comment for what remains
+// valid on such schedules).
+func DecodeTrace(r io.Reader) (*Schedule, error) {
+	br := bufio.NewReader(r)
+	var version int
+	if _, err := fmt.Fscanf(br, "sweeptrace %d\n", &version); err != nil {
+		return nil, fmt.Errorf("sched: bad trace header: %w", err)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("sched: unsupported trace version %d", version)
+	}
+	var n, k, m, makespan int
+	if _, err := fmt.Fscanf(br, "shape %d %d %d %d\n", &n, &k, &m, &makespan); err != nil {
+		return nil, fmt.Errorf("sched: bad shape line: %w", err)
+	}
+	if n < 1 || k < 1 || m < 1 || makespan < 1 {
+		return nil, fmt.Errorf("sched: degenerate shape n=%d k=%d m=%d makespan=%d", n, k, m, makespan)
+	}
+	dags := make([]*dag.DAG, k)
+	empty, err := dag.FromEdges(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := range dags {
+		dags[i] = empty
+	}
+	inst, err := FromDAGs(dags, m)
+	if err != nil {
+		return nil, err
+	}
+	var word string
+	if _, err := fmt.Fscan(br, &word); err != nil || word != "assign" {
+		return nil, fmt.Errorf("sched: missing assign section")
+	}
+	assign := make(Assignment, n)
+	for v := range assign {
+		if _, err := fmt.Fscan(br, &assign[v]); err != nil {
+			return nil, fmt.Errorf("sched: assign[%d]: %w", v, err)
+		}
+		if assign[v] < 0 || int(assign[v]) >= m {
+			return nil, fmt.Errorf("sched: assign[%d]=%d out of range", v, assign[v])
+		}
+	}
+	if _, err := fmt.Fscan(br, &word); err != nil || word != "start" {
+		return nil, fmt.Errorf("sched: missing start section")
+	}
+	start := make([]int32, n*k)
+	for t := range start {
+		if _, err := fmt.Fscan(br, &start[t]); err != nil {
+			return nil, fmt.Errorf("sched: start[%d]: %w", t, err)
+		}
+		if start[t] < 0 || int(start[t]) >= makespan {
+			return nil, fmt.Errorf("sched: start[%d]=%d outside [0,%d)", t, start[t], makespan)
+		}
+	}
+	s := &Schedule{Inst: inst, Assign: assign, Start: start}
+	s.computeMakespan()
+	if s.Makespan != makespan {
+		return nil, fmt.Errorf("sched: trace claims makespan %d but starts imply %d", makespan, s.Makespan)
+	}
+	return s, nil
+}

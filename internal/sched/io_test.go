@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sweepsched/internal/rng"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	inst := testInstance(t, 3, 8, 4, 51)
+	assign := RandomAssignment(inst.N(), inst.M, rng.New(1))
+	s, err := ListSchedule(inst, assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != s.Makespan {
+		t.Fatalf("makespan %d -> %d", s.Makespan, got.Makespan)
+	}
+	if got.Inst.N() != inst.N() || got.Inst.K() != inst.K() || got.Inst.M != inst.M {
+		t.Fatal("shape changed through trace")
+	}
+	for v := range s.Assign {
+		if s.Assign[v] != got.Assign[v] {
+			t.Fatalf("assign[%d] changed", v)
+		}
+	}
+	for tid := range s.Start {
+		if s.Start[tid] != got.Start[tid] {
+			t.Fatalf("start[%d] changed", tid)
+		}
+	}
+}
+
+func TestTraceDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "nottrace 1\n",
+		"bad version":  "sweeptrace 9\n",
+		"bad shape":    "sweeptrace 1\nshape 0 1 1 1\n",
+		"short assign": "sweeptrace 1\nshape 2 1 1 2\nassign 0\n",
+		"assign range": "sweeptrace 1\nshape 2 1 1 2\nassign 0 5\nstart 0 1\n",
+		"start range":  "sweeptrace 1\nshape 2 1 1 2\nassign 0 0\nstart 0 9\n",
+		"makespan lie": "sweeptrace 1\nshape 2 1 1 5\nassign 0 0\nstart 0 1\n",
+	}
+	for what, text := range cases {
+		if _, err := DecodeTrace(strings.NewReader(text)); err == nil {
+			t.Fatalf("%s: decode succeeded", what)
+		}
+	}
+}
+
+func TestTraceValidForViews(t *testing.T) {
+	// Decoded traces support shape-based analysis (per-proc loads).
+	text := "sweeptrace 1\nshape 2 2 2 2\nassign 0 1\nstart 0 0 1 1\n"
+	s, err := DecodeTrace(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 2 {
+		t.Fatalf("makespan %d", s.Makespan)
+	}
+	if s.Inst.NTasks() != 4 {
+		t.Fatalf("tasks %d", s.Inst.NTasks())
+	}
+}

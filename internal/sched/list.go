@@ -1,0 +1,285 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Priorities assigns each task a rank; list schedulers always prefer the
+// numerically smallest value (negate a "higher is better" priority before
+// passing it in). Ties break on TaskID for determinism.
+type Priorities []int64
+
+// taskHeap is a min-heap of tasks ordered by (priority, id).
+type taskHeap struct {
+	ids  []TaskID
+	prio Priorities
+}
+
+func (h *taskHeap) Len() int { return len(h.ids) }
+func (h *taskHeap) Less(a, b int) bool {
+	pa, pb := h.prio[h.ids[a]], h.prio[h.ids[b]]
+	if pa != pb {
+		return pa < pb
+	}
+	return h.ids[a] < h.ids[b]
+}
+func (h *taskHeap) Swap(a, b int)      { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
+func (h *taskHeap) Push(x interface{}) { h.ids = append(h.ids, x.(TaskID)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
+
+// ListSchedule runs priority list scheduling with a fixed cell-to-processor
+// assignment (§3, "List Scheduling"): at every timestep each processor runs
+// the ready task of smallest priority among the tasks assigned to it. The
+// result is a complete, validated-shape Schedule (call Validate to check).
+//
+// prio may be nil, in which case all tasks share one priority and ties
+// break on TaskID.
+func ListSchedule(inst *Instance, assign Assignment, prio Priorities) (*Schedule, error) {
+	return ListScheduleWithRelease(inst, assign, prio, nil)
+}
+
+// ListScheduleWithRelease is ListSchedule with per-task release times: task
+// t may not start before step release[t] even if its predecessors are done.
+// This implements the "random delays + heuristic" combinations of §5.2,
+// where direction i is held back by X_i steps. A nil release means all
+// zeros.
+func ListScheduleWithRelease(inst *Instance, assign Assignment, prio Priorities, release []int32) (*Schedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	if release != nil && len(release) != nt {
+		return nil, fmt.Errorf("sched: %d release times for %d tasks", len(release), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	heaps := make([]taskHeap, inst.M)
+	for p := range heaps {
+		heaps[p].prio = prio
+	}
+	// future[step] holds ready tasks whose release time is still ahead.
+	future := map[int32][]TaskID{}
+	pendingFuture := 0
+	makeAvailable := func(t TaskID, now int32) {
+		if release != nil && release[t] > now {
+			future[release[t]] = append(future[release[t]], t)
+			pendingFuture++
+			return
+		}
+		v, _ := inst.Split(t)
+		heap.Push(&heaps[assign[v]], t)
+	}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			makeAvailable(TaskID(t), 0)
+		}
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completedAtStep := make([]TaskID, 0, inst.M)
+
+	for step := int32(0); remaining > 0; step++ {
+		if pendingFuture > 0 {
+			if due, ok := future[step]; ok {
+				for _, t := range due {
+					v, _ := inst.Split(t)
+					heap.Push(&heaps[assign[v]], t)
+				}
+				pendingFuture -= len(due)
+				delete(future, step)
+			}
+		}
+		completedAtStep = completedAtStep[:0]
+		for p := 0; p < inst.M; p++ {
+			h := &heaps[p]
+			if h.Len() == 0 {
+				continue
+			}
+			t := heap.Pop(h).(TaskID)
+			start[t] = step
+			remaining--
+			completedAtStep = append(completedAtStep, t)
+		}
+		if len(completedAtStep) == 0 && pendingFuture == 0 {
+			return nil, fmt.Errorf("sched: deadlock at step %d with %d tasks remaining", step, remaining)
+		}
+		for _, t := range completedAtStep {
+			v, i := inst.Split(t)
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					makeAvailable(wt, step+1)
+				}
+			}
+		}
+	}
+
+	s := &Schedule{Inst: inst, Assign: assign, Start: start}
+	s.computeMakespan()
+	return s, nil
+}
+
+// GreedySchedule runs Graham's list scheduling on the union DAG H of all
+// directions with m identical machines and no processor pinning: at every
+// step up to m ready tasks run, smallest priority first. It returns the
+// completion step (1-based level) of every task — exactly the L'
+// preprocessing levels of Algorithm 3 — and the makespan T.
+func GreedySchedule(inst *Instance, prio Priorities) (level []int32, makespan int, err error) {
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, 0, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+	ready := taskHeap{prio: prio}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			heap.Push(&ready, TaskID(t))
+		}
+	}
+	level = make([]int32, nt)
+	remaining := nt
+	batch := make([]TaskID, 0, inst.M)
+	for step := int32(1); remaining > 0; step++ {
+		batch = batch[:0]
+		for len(batch) < inst.M && ready.Len() > 0 {
+			batch = append(batch, heap.Pop(&ready).(TaskID))
+		}
+		if len(batch) == 0 {
+			return nil, 0, fmt.Errorf("sched: greedy deadlock at step %d", step)
+		}
+		for _, t := range batch {
+			level[t] = step
+			remaining--
+		}
+		for _, t := range batch {
+			v, i := inst.Split(t)
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					heap.Push(&ready, wt)
+				}
+			}
+		}
+		makespan = int(step)
+	}
+	return level, makespan, nil
+}
+
+// LayeredSchedule implements the layer-synchronous execution of Algorithms
+// 1 and 3: tasks carry a layer index (≥ 1); layer r+1 starts only after all
+// of layer r finishes; within a layer each processor drains its tasks in
+// arbitrary (here: TaskID) order. Returns a complete Schedule.
+func LayeredSchedule(inst *Instance, assign Assignment, layer []int32) (*Schedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if len(layer) != nt {
+		return nil, fmt.Errorf("sched: %d layer indices for %d tasks", len(layer), nt)
+	}
+	maxLayer := int32(0)
+	for t, l := range layer {
+		if l < 1 {
+			return nil, fmt.Errorf("sched: task %d has layer %d < 1", t, l)
+		}
+		if l > maxLayer {
+			maxLayer = l
+		}
+	}
+	// The layer function must strictly increase along every DAG edge; this
+	// is what lets same-layer tasks run in arbitrary relative order.
+	n32 := int32(inst.N())
+	for i, d := range inst.DAGs {
+		base := int32(i) * n32
+		for u := int32(0); u < n32; u++ {
+			lu := layer[base+u]
+			for _, w := range d.Out(u) {
+				if layer[base+w] <= lu {
+					return nil, fmt.Errorf("sched: layer not monotone on edge (%d,%d)->(%d,%d): %d -> %d",
+						u, i, w, i, lu, layer[base+w])
+				}
+			}
+		}
+	}
+	// Bucket tasks by layer, preserving TaskID order.
+	counts := make([]int32, maxLayer+2)
+	for _, l := range layer {
+		counts[l+1]++
+	}
+	for i := int32(1); i < maxLayer+2; i++ {
+		counts[i] += counts[i-1]
+	}
+	bucket := make([]TaskID, nt)
+	cursor := make([]int32, maxLayer+2)
+	for t := 0; t < nt; t++ {
+		l := layer[t]
+		bucket[counts[l]+cursor[l]] = TaskID(t)
+		cursor[l]++
+	}
+
+	start := make([]int32, nt)
+	procClock := make([]int32, inst.M)
+	base := int32(0)
+	for l := int32(1); l <= maxLayer; l++ {
+		lo, hi := counts[l], counts[l+1]
+		if lo == hi {
+			continue
+		}
+		for p := range procClock {
+			procClock[p] = 0
+		}
+		layerTime := int32(0)
+		for _, t := range bucket[lo:hi] {
+			v, _ := inst.Split(t)
+			p := assign[v]
+			start[t] = base + procClock[p]
+			procClock[p]++
+			if procClock[p] > layerTime {
+				layerTime = procClock[p]
+			}
+		}
+		base += layerTime
+	}
+	s := &Schedule{Inst: inst, Assign: assign, Start: start}
+	s.computeMakespan()
+	return s, nil
+}

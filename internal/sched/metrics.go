@@ -1,0 +1,101 @@
+package sched
+
+// This file implements the paper's objective functions (§5, "Objective
+// functions"): the makespan is Schedule.Makespan; C1 is the static count of
+// interprocessor DAG edges; C2 charges, after every computation step, the
+// maximum number of off-processor messages any single processor must send
+// (the "Max Off-Proc-Outdegree" series in the paper's Figure 2(b)).
+
+// C1 counts the edges ((u,i),(v,i)) over all direction DAGs whose endpoint
+// cells are assigned to different processors. It depends only on the
+// assignment, not on task start times.
+func C1(inst *Instance, assign Assignment) int64 {
+	var cut int64
+	for _, d := range inst.DAGs {
+		for u := int32(0); u < int32(d.N); u++ {
+			pu := assign[u]
+			for _, w := range d.Out(u) {
+				if assign[w] != pu {
+					cut++
+				}
+			}
+		}
+	}
+	return cut
+}
+
+// C2 returns the total communication delay under the synchronous-rounds
+// model: after each timestep t, communication takes max over processors of
+// the number of edges from tasks finishing at t to tasks on other
+// processors. The sum over steps is the schedule's total communication
+// time.
+func C2(s *Schedule) int64 {
+	inst := s.Inst
+	steps := s.Makespan
+	if steps == 0 {
+		return 0
+	}
+	// perStep[p] counts messages processor p sends after the current step.
+	perStep := make([]int32, inst.M)
+	// Group tasks by start step.
+	counts := make([]int32, steps+1)
+	for _, st := range s.Start {
+		counts[st+1]++
+	}
+	for i := 1; i <= steps; i++ {
+		counts[i] += counts[i-1]
+	}
+	order := make([]TaskID, len(s.Start))
+	cursor := make([]int32, steps)
+	for t, st := range s.Start {
+		order[counts[st]+cursor[st]] = TaskID(t)
+		cursor[st]++
+	}
+
+	var total int64
+	for st := 0; st < steps; st++ {
+		lo, hi := counts[st], counts[st+1]
+		if lo == hi {
+			continue
+		}
+		var touched []int32
+		maxMsgs := int32(0)
+		for _, t := range order[lo:hi] {
+			v, i := inst.Split(t)
+			p := s.Assign[v]
+			d := inst.DAGs[i]
+			for _, w := range d.Out(v) {
+				if s.Assign[w] != p {
+					if perStep[p] == 0 {
+						touched = append(touched, p)
+					}
+					perStep[p]++
+					if perStep[p] > maxMsgs {
+						maxMsgs = perStep[p]
+					}
+				}
+			}
+		}
+		total += int64(maxMsgs)
+		for _, p := range touched {
+			perStep[p] = 0
+		}
+	}
+	return total
+}
+
+// Metrics bundles the quantities every experiment reports.
+type Metrics struct {
+	Makespan int
+	C1       int64
+	C2       int64
+}
+
+// Measure computes all metrics of a schedule.
+func Measure(s *Schedule) Metrics {
+	return Metrics{
+		Makespan: s.Makespan,
+		C1:       C1(s.Inst, s.Assign),
+		C2:       C2(s),
+	}
+}

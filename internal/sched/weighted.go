@@ -1,0 +1,279 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// The paper takes uniform processing time p=1 ("we will assume that each
+// task takes uniform time p") — fine for theory, but real transport meshes
+// have heterogeneous cell costs (graded cells, material-dependent solves).
+// This file extends list scheduling to per-cell integer weights: all k
+// copies of a cell share its weight (the cost is the local solve), tasks
+// are still non-preemptive, and the engine becomes event-driven rather
+// than step-driven.
+
+// CellWeights gives every cell a positive processing cost.
+type CellWeights []int32
+
+// Validate checks coverage and positivity.
+func (w CellWeights) Validate(n int) error {
+	if len(w) != n {
+		return fmt.Errorf("sched: %d weights for %d cells", len(w), n)
+	}
+	for v, x := range w {
+		if x <= 0 {
+			return fmt.Errorf("sched: cell %d has non-positive weight %d", v, x)
+		}
+	}
+	return nil
+}
+
+// UniformWeights returns all-ones weights (the paper's model).
+func UniformWeights(n int) CellWeights {
+	w := make(CellWeights, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// WeightedSchedule is a completed weighted run: per-task start and finish
+// times (finish = start + weight of the task's cell).
+type WeightedSchedule struct {
+	Inst     *Instance
+	Assign   Assignment
+	Weights  CellWeights
+	Start    []int64
+	Finish   []int64
+	Makespan int64
+}
+
+// Validate checks weighted feasibility: durations, precedence with
+// finish-to-start semantics, and no overlapping intervals on a processor.
+func (s *WeightedSchedule) Validate() error {
+	inst := s.Inst
+	if err := s.Assign.Validate(inst.N(), inst.M); err != nil {
+		return err
+	}
+	if err := s.Weights.Validate(inst.N()); err != nil {
+		return err
+	}
+	nt := inst.NTasks()
+	if len(s.Start) != nt || len(s.Finish) != nt {
+		return fmt.Errorf("sched: weighted schedule covers %d/%d starts and %d/%d finishes",
+			len(s.Start), nt, len(s.Finish), nt)
+	}
+	n := int32(inst.N())
+	for t := 0; t < nt; t++ {
+		v, _ := inst.Split(TaskID(t))
+		if s.Start[t] < 0 {
+			return fmt.Errorf("sched: task %d unscheduled", t)
+		}
+		if s.Finish[t] != s.Start[t]+int64(s.Weights[v]) {
+			return fmt.Errorf("sched: task %d duration wrong: [%d,%d) weight %d",
+				t, s.Start[t], s.Finish[t], s.Weights[v])
+		}
+	}
+	for i, d := range inst.DAGs {
+		base := TaskID(int32(i) * n)
+		for u := int32(0); u < n; u++ {
+			fu := s.Finish[base+TaskID(u)]
+			for _, w := range d.Out(u) {
+				if s.Start[base+TaskID(w)] < fu {
+					return fmt.Errorf("sched: weighted precedence violated on (%d,%d)->(%d,%d)", u, i, w, i)
+				}
+			}
+		}
+	}
+	// Per-processor intervals must not overlap: check via sorting by start.
+	perProc := make([][]TaskID, inst.M)
+	for t := 0; t < nt; t++ {
+		v, _ := inst.Split(TaskID(t))
+		p := s.Assign[v]
+		perProc[p] = append(perProc[p], TaskID(t))
+	}
+	for p, tasks := range perProc {
+		// Insertion sort by start (lists are built unsorted).
+		for i := 1; i < len(tasks); i++ {
+			for j := i; j > 0 && s.Start[tasks[j]] < s.Start[tasks[j-1]]; j-- {
+				tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
+			}
+		}
+		for i := 1; i < len(tasks); i++ {
+			if s.Start[tasks[i]] < s.Finish[tasks[i-1]] {
+				return fmt.Errorf("sched: processor %d overlap between tasks %d and %d",
+					p, tasks[i-1], tasks[i])
+			}
+		}
+	}
+	return nil
+}
+
+// completionEvent orders the event queue by (finish time, task id).
+type completionEvent struct {
+	time int64
+	task TaskID
+	proc int32
+}
+
+type eventHeap []completionEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].time != h[b].time {
+		return h[a].time < h[b].time
+	}
+	return h[a].task < h[b].task
+}
+func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(completionEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ListScheduleWeighted runs event-driven priority list scheduling with
+// per-cell weights: whenever a processor goes idle and has ready tasks, it
+// immediately starts the smallest-priority one; a task becomes ready when
+// all predecessors have finished. With all-ones weights it produces exactly
+// the schedules of ListSchedule (same greedy rule).
+func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, weights CellWeights) (*WeightedSchedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	if err := weights.Validate(inst.N()); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	ready := make([]taskHeap, inst.M)
+	for p := range ready {
+		ready[p].prio = prio
+	}
+	busy := make([]bool, inst.M)
+	start := make([]int64, nt)
+	finish := make([]int64, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	var events eventHeap
+	remaining := nt
+
+	tryStart := func(p int32, now int64) {
+		if busy[p] || ready[p].Len() == 0 {
+			return
+		}
+		t := heap.Pop(&ready[p]).(TaskID)
+		v, _ := inst.Split(t)
+		start[t] = now
+		finish[t] = now + int64(weights[v])
+		busy[p] = true
+		heap.Push(&events, completionEvent{time: finish[t], task: t, proc: p})
+	}
+
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			v, _ := inst.Split(TaskID(t))
+			heap.Push(&ready[assign[v]], TaskID(t))
+		}
+	}
+	for p := int32(0); p < int32(inst.M); p++ {
+		tryStart(p, 0)
+	}
+
+	// Process all completions sharing a timestamp before starting anything
+	// at that time, so priority choices see every task the moment makes
+	// ready — the same semantics as the step-driven unit scheduler.
+	touched := make([]bool, inst.M)
+	for events.Len() > 0 {
+		now := events[0].time
+		for p := range touched {
+			touched[p] = false
+		}
+		for events.Len() > 0 && events[0].time == now {
+			ev := heap.Pop(&events).(completionEvent)
+			remaining--
+			busy[ev.proc] = false
+			touched[ev.proc] = true
+			v, i := inst.Split(ev.task)
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					wv, _ := inst.Split(wt)
+					p := assign[wv]
+					heap.Push(&ready[p], wt)
+					touched[p] = true
+				}
+			}
+		}
+		for p := int32(0); p < int32(inst.M); p++ {
+			if touched[p] {
+				tryStart(p, now)
+			}
+		}
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("sched: weighted deadlock with %d tasks unfinished", remaining)
+	}
+
+	s := &WeightedSchedule{Inst: inst, Assign: assign, Weights: weights, Start: start, Finish: finish}
+	for _, f := range finish {
+		if f > s.Makespan {
+			s.Makespan = f
+		}
+	}
+	return s, nil
+}
+
+// WeightedLoadBound returns the weighted load lower bound Σ_v k·w(v) / m.
+func WeightedLoadBound(inst *Instance, weights CellWeights) float64 {
+	var total int64
+	for _, w := range weights {
+		total += int64(w)
+	}
+	return float64(total) * float64(inst.K()) / float64(inst.M)
+}
+
+// WeightedCriticalPath returns the heaviest weighted chain over all
+// direction DAGs — the weighted analogue of D.
+func WeightedCriticalPath(inst *Instance, weights CellWeights) int64 {
+	best := int64(0)
+	n := int32(inst.N())
+	for _, d := range inst.DAGs {
+		dist := make([]int64, n)
+		order := d.TopoOrder()
+		for _, v := range order {
+			dv := dist[v] + int64(weights[v])
+			if dv > best {
+				best = dv
+			}
+			for _, w := range d.Out(v) {
+				if dv > dist[w] {
+					dist[w] = dv
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+)
+
+func randomWeights(n int, r *rng.Source, max int) CellWeights {
+	w := make(CellWeights, n)
+	for i := range w {
+		w[i] = int32(r.Intn(max)) + 1
+	}
+	return w
+}
+
+func TestCellWeightsValidate(t *testing.T) {
+	if err := (CellWeights{1, 2}).Validate(3); err == nil {
+		t.Fatal("short weights accepted")
+	}
+	if err := (CellWeights{1, 0}).Validate(2); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := UniformWeights(4).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedUnitMatchesUnweighted(t *testing.T) {
+	inst := testInstance(t, 3, 8, 4, 41)
+	r := rng.New(3)
+	assign := RandomAssignment(inst.N(), inst.M, r)
+	prio := levelPrio(inst, r)
+	unit, err := ListSchedule(inst, assign, prio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := ListScheduleWeighted(inst, assign, prio, UniformWeights(inst.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Makespan != int64(unit.Makespan) {
+		t.Fatalf("unit-weight makespan %d != step scheduler %d", weighted.Makespan, unit.Makespan)
+	}
+	for tid := range unit.Start {
+		if int64(unit.Start[tid]) != weighted.Start[tid] {
+			t.Fatalf("task %d: step start %d != weighted start %d",
+				tid, unit.Start[tid], weighted.Start[tid])
+		}
+	}
+}
+
+func TestWeightedChain(t *testing.T) {
+	inst := chainInstance(t, 3, 1)
+	weights := CellWeights{5, 1, 2}
+	s, err := ListScheduleWeighted(inst, Assignment{0, 0, 0}, nil, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Serial chain: starts 0, 5, 6; makespan 8.
+	wantStart := []int64{0, 5, 6}
+	for i, w := range wantStart {
+		if s.Start[i] != w {
+			t.Fatalf("start[%d] = %d, want %d", i, s.Start[i], w)
+		}
+	}
+	if s.Makespan != 8 {
+		t.Fatalf("makespan %d, want 8", s.Makespan)
+	}
+}
+
+func TestWeightedBoundsHold(t *testing.T) {
+	inst := testInstance(t, 3, 8, 4, 42)
+	r := rng.New(5)
+	weights := randomWeights(inst.N(), r, 7)
+	assign := RandomAssignment(inst.N(), inst.M, r)
+	s, err := ListScheduleWeighted(inst, assign, nil, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	load := WeightedLoadBound(inst, weights)
+	crit := WeightedCriticalPath(inst, weights)
+	if float64(s.Makespan) < load {
+		t.Fatalf("makespan %d below weighted load bound %v", s.Makespan, load)
+	}
+	if s.Makespan < crit {
+		t.Fatalf("makespan %d below weighted critical path %d", s.Makespan, crit)
+	}
+	// Graham's load+crit bound does NOT hold under pinning (a processor can
+	// idle on an empty queue while other queues hold work); the sound upper
+	// bounds are the serial one and, empirically on mesh instances, a small
+	// multiple of the load bound.
+	var serial int64
+	for _, wv := range weights {
+		serial += int64(wv) * int64(inst.K())
+	}
+	if s.Makespan > serial {
+		t.Fatalf("makespan %d exceeds serial bound %d", s.Makespan, serial)
+	}
+	if float64(s.Makespan) > 4*load {
+		t.Fatalf("makespan %d suspiciously far above the weighted load bound %v", s.Makespan, load)
+	}
+}
+
+func TestWeightedCriticalPathChain(t *testing.T) {
+	inst := chainInstance(t, 4, 1)
+	w := CellWeights{2, 3, 4, 5}
+	if got := WeightedCriticalPath(inst, w); got != 14 {
+		t.Fatalf("critical path %d, want 14", got)
+	}
+	if got := WeightedLoadBound(inst, w); got != 14 {
+		t.Fatalf("load bound %v, want 14 (m=1)", got)
+	}
+}
+
+func TestWeightedValidateCatchesOverlap(t *testing.T) {
+	inst := chainInstance(t, 2, 1)
+	w := CellWeights{3, 3}
+	s := &WeightedSchedule{
+		Inst: inst, Assign: Assignment{0, 0}, Weights: w,
+		Start:    []int64{0, 2}, // overlaps [0,3) and violates precedence
+		Finish:   []int64{3, 5},
+		Makespan: 5,
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("overlapping weighted schedule accepted")
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	inst := chainInstance(t, 3, 2)
+	if _, err := ListScheduleWeighted(inst, Assignment{0, 1, 0}, nil, CellWeights{1, 1}); err == nil {
+		t.Fatal("short weights accepted")
+	}
+	if _, err := ListScheduleWeighted(inst, Assignment{0, 9, 0}, nil, UniformWeights(3)); err == nil {
+		t.Fatal("bad assignment accepted")
+	}
+	if _, err := ListScheduleWeighted(inst, Assignment{0, 1, 0}, Priorities{1}, UniformWeights(3)); err == nil {
+		t.Fatal("short priorities accepted")
+	}
+}
+
+func TestQuickWeightedAlwaysValid(t *testing.T) {
+	f := func(seed uint64, mRaw, wMax uint8) bool {
+		m := int(mRaw%6) + 1
+		msh := mesh.KuhnBox(mesh.BoxSpec{NX: 2, NY: 2, NZ: 2, Jitter: 0.15, Seed: seed})
+		dirs, _ := quadrature.Octant(4)
+		inst, err := NewInstance(msh, dirs, m)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed ^ 0x33)
+		assign := RandomAssignment(inst.N(), m, r)
+		weights := randomWeights(inst.N(), r, int(wMax%9)+1)
+		s, err := ListScheduleWeighted(inst, assign, levelPrio(inst, r), weights)
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkListScheduleWeighted(b *testing.B) {
+	inst := testInstance(b, 6, 24, 32, 1)
+	r := rng.New(1)
+	assign := RandomAssignment(inst.N(), inst.M, r)
+	weights := randomWeights(inst.N(), r, 10)
+	prio := levelPrio(inst, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ListScheduleWeighted(inst, assign, prio, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

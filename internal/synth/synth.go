@@ -1,0 +1,127 @@
+// Package synth generates non-geometric sweep-scheduling instances. The
+// paper stresses (§2) that its algorithms "assume no relation between the
+// DAGs in different directions, and thus are applicable even to
+// non-geometric instances", and that for every heuristic of [14] there are
+// worst-case instances where the schedule is Ω(m) times optimal. These
+// generators provide such instances:
+//
+//   - RandomChains: each direction is a Hamiltonian chain over the cells in
+//     an independent random order — maximal critical paths with no shared
+//     structure across directions.
+//   - LayeredRandom: independent random layered DAGs of bounded width.
+//   - HeuristicTrap: a chains-with-collisions construction on which
+//     greedy priority schedulers serialize badly unless directions are
+//     staggered, showcasing why random delays help.
+package synth
+
+import (
+	"fmt"
+
+	"sweepsched/internal/dag"
+	"sweepsched/internal/rng"
+)
+
+// RandomChains builds k DAGs over n cells, each a chain visiting all cells
+// in an independent uniformly random order.
+func RandomChains(n, k int, seed uint64) ([]*dag.DAG, error) {
+	if n < 2 || k < 1 {
+		return nil, fmt.Errorf("synth: need n >= 2 and k >= 1, got n=%d k=%d", n, k)
+	}
+	r := rng.New(seed)
+	dags := make([]*dag.DAG, k)
+	for i := range dags {
+		perm := r.Perm(n)
+		edges := make([][2]int32, n-1)
+		for j := 0; j+1 < n; j++ {
+			edges[j] = [2]int32{int32(perm[j]), int32(perm[j+1])}
+		}
+		d, err := dag.FromEdges(n, edges)
+		if err != nil {
+			return nil, err
+		}
+		dags[i] = d
+	}
+	return dags, nil
+}
+
+// LayeredRandom builds k random layered DAGs over n cells: each direction
+// shuffles the cells into ceil(n/width) layers of the given width and adds,
+// for every cell, edges from 1-3 random cells of the previous layer.
+func LayeredRandom(n, k, width int, seed uint64) ([]*dag.DAG, error) {
+	if n < 2 || k < 1 || width < 1 {
+		return nil, fmt.Errorf("synth: need n >= 2, k >= 1, width >= 1")
+	}
+	r := rng.New(seed)
+	dags := make([]*dag.DAG, k)
+	for i := range dags {
+		perm := r.Perm(n)
+		nLayers := (n + width - 1) / width
+		layerOf := func(idx int) int { return idx / width }
+		var edges [][2]int32
+		for idx, cell := range perm {
+			l := layerOf(idx)
+			if l == 0 {
+				continue
+			}
+			// 1-3 predecessors from the previous layer.
+			nPred := 1 + r.Intn(3)
+			lo := (l - 1) * width
+			hi := l * width
+			if hi > n {
+				hi = n
+			}
+			for p := 0; p < nPred; p++ {
+				src := perm[lo+r.Intn(hi-lo)]
+				edges = append(edges, [2]int32{int32(src), int32(cell)})
+			}
+		}
+		d, err := dag.FromEdges(n, edges)
+		if err != nil {
+			return nil, err
+		}
+		dags[i] = d
+		_ = nLayers
+	}
+	return dags, nil
+}
+
+// HeuristicTrap builds an instance that punishes deterministic priority
+// schedulers: the cells form g groups of size L; every direction chains the
+// groups in the same group order but visits each group's cells in a
+// direction-specific order, so all k directions contend for the same group
+// at the same time unless the schedule staggers directions. Randomized
+// delays spread the directions across groups; deterministic level-greedy
+// schedules collide on every group. n must equal g*L.
+func HeuristicTrap(g, L, k int, seed uint64) ([]*dag.DAG, error) {
+	if g < 1 || L < 1 || k < 1 {
+		return nil, fmt.Errorf("synth: need g, L, k >= 1")
+	}
+	n := g * L
+	if n < 2 {
+		return nil, fmt.Errorf("synth: trivial trap instance")
+	}
+	r := rng.New(seed)
+	dags := make([]*dag.DAG, k)
+	for i := range dags {
+		var edges [][2]int32
+		var prevTail int32 = -1
+		for grp := 0; grp < g; grp++ {
+			base := grp * L
+			order := r.Perm(L)
+			for j := 0; j+1 < L; j++ {
+				edges = append(edges, [2]int32{int32(base + order[j]), int32(base + order[j+1])})
+			}
+			head := int32(base + order[0])
+			if prevTail >= 0 {
+				edges = append(edges, [2]int32{prevTail, head})
+			}
+			prevTail = int32(base + order[L-1])
+		}
+		d, err := dag.FromEdges(n, edges)
+		if err != nil {
+			return nil, err
+		}
+		dags[i] = d
+	}
+	return dags, nil
+}

@@ -1,0 +1,373 @@
+// Package transport implements a small discrete-ordinates (S_N) radiation
+// transport solver — the application sweeps exist for (§1). Source
+// iteration alternates full mesh sweeps (one per direction, in an order a
+// sweep schedule prescribes) with a scattering-source update, until the
+// scalar flux converges.
+//
+// The cell-balance model is deliberately simple (uniform cross sections,
+// inflow-averaged upwind closure) but it is a genuine fixed-point solve
+// whose inner sweeps have exactly the data dependencies the scheduling
+// paper studies: cell v in direction i needs the angular fluxes of its
+// upwind neighbors in direction i, and nothing else, before it can be
+// solved.
+//
+// Two executors are provided, and they produce bitwise-identical fluxes:
+//
+//   - Solve: serial, walking tasks in schedule start order.
+//   - SolveParallel: one goroutine per processor of the schedule's
+//     assignment, exchanging cross-processor angular fluxes through
+//     channels in barrier-synchronous steps — a faithful miniature of the
+//     distributed sweep the schedule would drive on a real cluster.
+package transport
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sweepsched/internal/sched"
+)
+
+// Config sets the physics and iteration controls.
+type Config struct {
+	SigmaT   float64 // total cross-section (> 0)
+	SigmaS   float64 // scattering cross-section (0 ≤ SigmaS < SigmaT for convergence)
+	Source   float64 // uniform external source
+	Tol      float64 // max |Δφ| convergence threshold (default 1e-10)
+	MaxIters int     // iteration cap (default 500)
+	// Weights are the per-direction angular quadrature weights used to
+	// integrate the scalar flux (e.g. quadrature.SNWeights). nil means
+	// equal weights 1/k; otherwise the length must match the instance's
+	// direction count and the weights must be positive.
+	Weights []float64
+	// SourceField, if non-nil, gives a per-cell external source that
+	// overrides the uniform Source (used by the multigroup solver to feed
+	// downscatter into a group). Entries must be non-negative.
+	SourceField []float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Tol <= 0 {
+		c.Tol = 1e-10
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 500
+	}
+	if c.SigmaT <= 0 {
+		return c, fmt.Errorf("transport: SigmaT must be positive, got %v", c.SigmaT)
+	}
+	if c.SigmaS < 0 || c.SigmaS >= c.SigmaT {
+		return c, fmt.Errorf("transport: need 0 <= SigmaS < SigmaT, got SigmaS=%v SigmaT=%v", c.SigmaS, c.SigmaT)
+	}
+	for i, w := range c.Weights {
+		if w <= 0 {
+			return c, fmt.Errorf("transport: angular weight %d is %v, want > 0", i, w)
+		}
+	}
+	for v, q := range c.SourceField {
+		if q < 0 {
+			return c, fmt.Errorf("transport: negative source %v at cell %d", q, v)
+		}
+	}
+	return c, nil
+}
+
+// Result is a converged (or iteration-capped) solve.
+type Result struct {
+	Phi        []float64 // scalar flux per cell
+	Iterations int
+	Residual   float64 // final max |Δφ|
+	Converged  bool
+}
+
+// sweepOnce computes one full sweep of every direction given the previous
+// scalar flux, writing angular fluxes into psi (indexed i*n+v). done is a
+// scratch bool slice of the same length. Tasks are processed in the given
+// order, which must be precedence-compatible.
+func sweepOnce(inst *sched.Instance, order []sched.TaskID, phi, psi []float64, done []bool, cfg Config) error {
+	n := int32(inst.N())
+	for i := range done {
+		done[i] = false
+	}
+	for _, t := range order {
+		v, i := inst.Split(t)
+		d := inst.DAGs[i]
+		base := int32(i) * n
+		inflow := 0.0
+		preds := d.In(v)
+		for _, u := range preds {
+			ut := base + u
+			if !done[ut] {
+				return fmt.Errorf("transport: task (%d,%d) ran before upwind (%d,%d)", v, i, u, i)
+			}
+			inflow += psi[ut]
+		}
+		if len(preds) > 0 {
+			inflow /= float64(len(preds))
+		}
+		q := cfg.Source
+		if cfg.SourceField != nil {
+			q = cfg.SourceField[v]
+		}
+		q += cfg.SigmaS * phi[v]
+		psi[base+v] = (q + inflow) / (1 + cfg.SigmaT)
+		done[base+v] = true
+	}
+	return nil
+}
+
+// updatePhi folds psi into a new scalar flux using the configured angular
+// weights, in a fixed (cell-major, direction-minor) order so every executor
+// produces the same floating-point result. It returns the max |Δφ|.
+func updatePhi(inst *sched.Instance, psi, phi []float64, cfg Config) float64 {
+	n := inst.N()
+	k := inst.K()
+	maxDiff := 0.0
+	for v := 0; v < n; v++ {
+		sum := 0.0
+		if cfg.Weights == nil {
+			for i := 0; i < k; i++ {
+				sum += psi[i*n+v]
+			}
+			sum /= float64(k)
+		} else {
+			for i := 0; i < k; i++ {
+				sum += cfg.Weights[i] * psi[i*n+v]
+			}
+		}
+		if d := math.Abs(sum - phi[v]); d > maxDiff {
+			maxDiff = d
+		}
+		phi[v] = sum
+	}
+	return maxDiff
+}
+
+// executionOrder sorts tasks by (start, id); any validated schedule yields
+// a precedence-compatible order.
+func executionOrder(s *sched.Schedule) []sched.TaskID {
+	nt := s.Inst.NTasks()
+	// Counting sort by start step.
+	counts := make([]int32, s.Makespan+1)
+	for _, st := range s.Start {
+		counts[st+1]++
+	}
+	for i := 1; i <= s.Makespan; i++ {
+		counts[i] += counts[i-1]
+	}
+	order := make([]sched.TaskID, nt)
+	cursor := make([]int32, s.Makespan)
+	for t := 0; t < nt; t++ {
+		st := s.Start[t]
+		order[counts[st]+cursor[st]] = sched.TaskID(t)
+		cursor[st]++
+	}
+	return order
+}
+
+// Solve runs source iteration serially, sweeping in the schedule's
+// execution order.
+func Solve(s *sched.Schedule, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	inst := s.Inst
+	order := executionOrder(s)
+	phi := make([]float64, inst.N())
+	psi := make([]float64, inst.NTasks())
+	done := make([]bool, inst.NTasks())
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		if err := sweepOnce(inst, order, phi, psi, done, cfg); err != nil {
+			return nil, err
+		}
+		res.Residual = updatePhi(inst, psi, phi, cfg)
+		res.Iterations = iter
+		if res.Residual < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Phi = phi
+	return res, nil
+}
+
+// fluxMsg carries one task's angular flux to a downstream processor.
+type fluxMsg struct {
+	task sched.TaskID
+	psi  float64
+}
+
+// SolveParallel runs the same source iteration with one goroutine per
+// processor, following the schedule step by step. Cross-processor angular
+// fluxes travel through buffered channels; a coordinator barrier separates
+// steps (messages sent during step t are drained before step t+1, so every
+// upwind flux is present when needed — the schedule guarantees the
+// ordering). The result is bitwise-identical to Solve.
+func SolveParallel(s *sched.Schedule, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	inst := s.Inst
+	m := inst.M
+	n := int32(inst.N())
+	nt := inst.NTasks()
+
+	// Group tasks per processor per step, preserving TaskID order.
+	perProcStep := make([]map[int32][]sched.TaskID, m)
+	for p := range perProcStep {
+		perProcStep[p] = map[int32][]sched.TaskID{}
+	}
+	for t := 0; t < nt; t++ {
+		v, _ := inst.Split(sched.TaskID(t))
+		p := s.Assign[v]
+		perProcStep[p][s.Start[t]] = append(perProcStep[p][s.Start[t]], sched.TaskID(t))
+	}
+	// Inbox sizing: exact incoming cross-edge counts per processor.
+	incoming := make([]int, m)
+	for _, d := range inst.DAGs {
+		for u := int32(0); u < n; u++ {
+			pu := s.Assign[u]
+			for _, w := range d.Out(u) {
+				if s.Assign[w] != pu {
+					incoming[s.Assign[w]]++
+				}
+			}
+		}
+	}
+	inbox := make([]chan fluxMsg, m)
+	stepCh := make([]chan int32, m)
+	for p := 0; p < m; p++ {
+		inbox[p] = make(chan fluxMsg, incoming[p]+1)
+		stepCh[p] = make(chan int32)
+	}
+	acks := make(chan error, m)
+
+	phi := make([]float64, inst.N())
+	psi := make([]float64, nt) // shared: disjoint per-task writes, barrier-separated reads
+
+	var wg sync.WaitGroup
+	for p := 0; p < m; p++ {
+		wg.Add(1)
+		go func(p int32) {
+			defer wg.Done()
+			recvPsi := map[sched.TaskID]float64{}
+			for st := range stepCh[p] {
+				if st < 0 {
+					// New iteration: reset received fluxes.
+					for k := range recvPsi {
+						delete(recvPsi, k)
+					}
+					acks <- nil
+					continue
+				}
+				for {
+					select {
+					case msg := <-inbox[p]:
+						recvPsi[msg.task] = msg.psi
+						continue
+					default:
+					}
+					break
+				}
+				var stepErr error
+				for _, t := range perProcStep[p][st] {
+					v, i := inst.Split(t)
+					d := inst.DAGs[i]
+					base := int32(i) * n
+					inflow := 0.0
+					preds := d.In(v)
+					ok := true
+					for _, u := range preds {
+						ut := sched.TaskID(base + u)
+						var up float64
+						if s.Assign[u] == p {
+							up = psi[ut] // written by this goroutine earlier
+						} else {
+							val, have := recvPsi[ut]
+							if !have {
+								stepErr = fmt.Errorf("transport: proc %d missing flux for task %d at step %d", p, ut, st)
+								ok = false
+								break
+							}
+							up = val
+						}
+						inflow += up
+					}
+					if !ok {
+						break
+					}
+					if len(preds) > 0 {
+						inflow /= float64(len(preds))
+					}
+					q := cfg.Source
+					if cfg.SourceField != nil {
+						q = cfg.SourceField[v]
+					}
+					q += cfg.SigmaS * phi[v]
+					val := (q + inflow) / (1 + cfg.SigmaT)
+					psi[base+v] = val
+					for _, w := range d.Out(v) {
+						if qp := s.Assign[w]; qp != p {
+							inbox[qp] <- fluxMsg{task: sched.TaskID(base + v), psi: val}
+						}
+					}
+				}
+				acks <- stepErr
+			}
+		}(int32(p))
+	}
+
+	res := &Result{}
+	runIteration := func() error {
+		// Reset barrier.
+		for p := 0; p < m; p++ {
+			stepCh[p] <- -1
+		}
+		for p := 0; p < m; p++ {
+			if err := <-acks; err != nil {
+				return err
+			}
+		}
+		for st := int32(0); st < int32(s.Makespan); st++ {
+			for p := 0; p < m; p++ {
+				stepCh[p] <- st
+			}
+			var firstErr error
+			for p := 0; p < m; p++ {
+				if err := <-acks; err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			if firstErr != nil {
+				return firstErr
+			}
+		}
+		return nil
+	}
+
+	var solveErr error
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		if err := runIteration(); err != nil {
+			solveErr = err
+			break
+		}
+		res.Residual = updatePhi(inst, psi, phi, cfg)
+		res.Iterations = iter
+		if res.Residual < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	for p := 0; p < m; p++ {
+		close(stepCh[p])
+	}
+	wg.Wait()
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	res.Phi = phi
+	return res, nil
+}
