@@ -1,0 +1,30 @@
+# Tier-1 verify is `make check`; `make ci` adds the race detector and a
+# short fuzz smoke pass (see ci.sh).
+
+GO ?= go
+
+.PHONY: check ci race fuzz bench bench-record
+
+check:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzFromEdges$$' -fuzztime 10s ./internal/dag
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/mesh
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTrace$$' -fuzztime 10s ./internal/sched
+
+ci:
+	./ci.sh
+
+# The workers-sweep benchmarks of the parallel per-direction pipeline.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuildAll/' ./internal/dag
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedule/' .
+
+# Reproduce the numbers recorded in BENCH_PR1.json.
+bench-record:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuildAll/' -count 5 ./internal/dag
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedule/' -count 5 .

@@ -194,6 +194,14 @@ type ScheduleOptions struct {
 	// Seed drives all random choices (delays and assignment); runs with the
 	// same seed are identical.
 	Seed uint64
+	// Workers bounds the goroutines used for the embarrassingly parallel
+	// per-direction stages of a run — priority computation and C1/C2 metric
+	// accumulation (0 = GOMAXPROCS, 1 = serial). The result is bit-for-bit
+	// identical for every value: parallel stages write into slots indexed
+	// by direction and all randomness is drawn from per-direction
+	// substreams before any fan-out (see DESIGN.md, "Parallel execution &
+	// determinism").
+	Workers int
 }
 
 // Result is a completed scheduling run.
@@ -223,7 +231,7 @@ func (p *Problem) Schedule(alg Scheduler, opts ScheduleOptions) (*Result, error)
 		}
 		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
 	}
-	s, err := heuristics.Run(alg, p.inst, assign, r)
+	s, err := heuristics.Run(alg, p.inst, assign, r, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +240,7 @@ func (p *Problem) Schedule(alg Scheduler, opts ScheduleOptions) (*Result, error)
 	}
 	return &Result{
 		Schedule: s,
-		Metrics:  sched.Measure(s),
+		Metrics:  sched.Measure(s, opts.Workers),
 		Ratio:    lb.Ratio(s.Makespan, p.inst),
 	}, nil
 }
@@ -263,7 +271,7 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 		}
 		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
 	}
-	prio, err := priorityFor(alg, p.inst, assign, r)
+	prio, err := priorityFor(alg, p.inst, assign, r, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -279,14 +287,14 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 	}
 	return &Result{
 		Schedule: s,
-		Metrics:  sched.Measure(s),
+		Metrics:  sched.Measure(s, opts.Workers),
 		Ratio:    lb.Ratio(s.Makespan, p.inst),
 	}, nil
 }
 
 // priorityFor derives the task priorities a scheduler would use, for the
 // comm-delay scheduling path.
-func priorityFor(alg Scheduler, inst *sched.Instance, assign sched.Assignment, r *rng.Source) (sched.Priorities, error) {
+func priorityFor(alg Scheduler, inst *sched.Instance, assign sched.Assignment, r *rng.Source, workers int) (sched.Priorities, error) {
 	switch alg {
 	case RandomDelaysPriority:
 		// Γ(v,i) = level + X_i, as in Algorithm 2.
@@ -301,11 +309,11 @@ func priorityFor(alg Scheduler, inst *sched.Instance, assign sched.Assignment, r
 		}
 		return prio, nil
 	case Level, LevelDelays:
-		return heuristics.LevelPriorities(inst), nil
+		return heuristics.LevelPriorities(inst, workers), nil
 	case Descendant, DescendantDelays:
-		return heuristics.DescendantPriorities(inst), nil
+		return heuristics.DescendantPriorities(inst, workers), nil
 	case DFDS, DFDSDelays:
-		return heuristics.DFDSPriorities(inst, assign), nil
+		return heuristics.DFDSPriorities(inst, assign, workers), nil
 	case ImprovedDelays:
 		level, _, err := sched.GreedySchedule(inst, nil)
 		if err != nil {
@@ -377,7 +385,7 @@ func (p *Problem) ScheduleWeighted(alg Scheduler, opts ScheduleOptions, weights 
 		}
 		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
 	}
-	prio, err := priorityFor(alg, p.inst, assign, r)
+	prio, err := priorityFor(alg, p.inst, assign, r, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ package sweepsched_test
 // runs the same drivers with table output and paper-scale knobs.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -156,6 +157,30 @@ func BenchmarkTransportSolve(b *testing.B) {
 		if _, err := p.SolveTransport(res, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSchedule sweeps the Workers knob over a k=24-direction instance
+// for the scheduler whose priority stage dominates (descendant counting);
+// workers=1 is the serial baseline the parallel rows are compared against.
+// The schedule is bit-identical across rows (see TestTraceDeterminism);
+// only wall-clock changes.
+func BenchmarkSchedule(b *testing.B) {
+	p, err := sweepsched.NewProblemFromFamily("tetonly", 0.05, 24, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Schedule(sweepsched.Descendant, sweepsched.ScheduleOptions{
+					Seed:    uint64(i + 1),
+					Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's tier-1 gate plus the race/fuzz hardening pass.
+#
+#   ./ci.sh         # vet + build + race-enabled tests + fuzz smoke
+#   FUZZTIME=30s ./ci.sh   # longer fuzz smoke
+#
+# The race-enabled test run is what makes the determinism harness
+# (TestTraceDeterminismAcrossWorkers) race-proof: it executes every
+# scheduler's parallel pipeline at Workers=8 under the race detector.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz smoke (${FUZZTIME} per target) =="
+go test -run '^$' -fuzz '^FuzzFromEdges$' -fuzztime "$FUZZTIME" ./internal/dag
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/mesh
+go test -run '^$' -fuzz '^FuzzDecodeTrace$' -fuzztime "$FUZZTIME" ./internal/sched
+
+echo "ci: all green"

@@ -32,7 +32,7 @@ func main() {
 		procs   = flag.String("procs", "2,8,32,128,512", "comma-separated processor counts")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csv     = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
-		workers = flag.Int("workers", 0, "parallel experiment rows (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "goroutines for experiment rows and per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	flag.Parse()
 

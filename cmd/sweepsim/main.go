@@ -31,6 +31,7 @@ func main() {
 		commC     = flag.Int("c", 0, "uniform communication delay (steps per cross-processor edge)")
 		saveTrace = flag.String("savetrace", "", "write the schedule trace to this path (view with sweepview)")
 		weighted  = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
+		workers   = flag.Int("workers", 0, "goroutines for per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 	fmt.Printf("lower bounds: nk/m=%.1f k=%d D=%d (max %d)\n",
 		bounds.Load, bounds.PerCell, bounds.CriticalPath, bounds.Max())
 
-	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed}
+	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed, Workers: *workers}
 
 	if *weighted {
 		weights := sweepsched.LogNormalWeights(p.N(), 4, 0.75, *seed^0x57)

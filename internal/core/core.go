@@ -24,12 +24,18 @@ import (
 )
 
 // Delays draws the per-direction random delays X_i uniform on {0..k-1}
-// (step 1 of every algorithm).
+// (step 1 of every algorithm). Each X_i is drawn from direction i's
+// splitmix-derived substream of r rather than sequentially from r itself,
+// so X_i is a pure function of (r's position, i): the draws are identical
+// whether the directions are processed serially or fanned over a worker
+// pool, and future parallelization of any per-direction loop cannot change
+// them. The parent advances by one draw so successive calls differ.
 func Delays(k int, r *rng.Source) []int32 {
 	x := make([]int32, k)
 	for i := range x {
-		x[i] = int32(r.Intn(k))
+		x[i] = int32(r.Substream(uint64(i)).Intn(k))
 	}
+	r.Uint64()
 	return x
 }
 

@@ -12,11 +12,10 @@ package dag
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
-	"sync"
 
 	"sweepsched/internal/geom"
 	"sweepsched/internal/mesh"
+	"sweepsched/internal/par"
 )
 
 // DAG is one direction's precedence graph over mesh cells in CSR form (both
@@ -448,36 +447,21 @@ func (d *DAG) Sinks() []int32 {
 	return s
 }
 
-// BuildAll induces the DAGs for every direction in parallel (one goroutine
-// per available CPU), preserving direction order in the result.
+// BuildAll induces the DAGs for every direction in parallel on GOMAXPROCS
+// workers, preserving direction order in the result.
 func BuildAll(m *mesh.Mesh, dirs []geom.Vec3) []*DAG {
+	return BuildAllWorkers(m, dirs, 0)
+}
+
+// BuildAllWorkers is BuildAll with an explicit worker bound (<= 0 selects
+// GOMAXPROCS). Direction i's DAG is built independently into slot i, so the
+// result is identical for every worker count.
+func BuildAllWorkers(m *mesh.Mesh, dirs []geom.Vec3, workers int) []*DAG {
 	dags := make([]*DAG, len(dirs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(dirs) {
-		workers = len(dirs)
-	}
-	if workers <= 1 {
-		for i, dir := range dirs {
-			dags[i] = Build(m, dir)
-		}
-		return dags
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				dags[i] = Build(m, dirs[i])
-			}
-		}()
-	}
-	for i := range dirs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	_ = par.ForEach(len(dirs), workers, func(i int) error {
+		dags[i] = Build(m, dirs[i])
+		return nil
+	})
 	return dags
 }
 

@@ -1,6 +1,7 @@
 package dag
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -364,5 +365,45 @@ func BenchmarkBuildAll24(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildAll(m, dirs)
+	}
+}
+
+// BenchmarkBuildAll sweeps worker counts over a k=24-direction instance;
+// workers=1 is the serial baseline the parallel rows are compared against.
+func BenchmarkBuildAll(b *testing.B) {
+	m := mesh.KuhnBox(mesh.BoxSpec{NX: 10, NY: 10, NZ: 10, Jitter: 0.15, Seed: 1})
+	dirs, _ := quadrature.Octant(24)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BuildAllWorkers(m, dirs, workers)
+			}
+		})
+	}
+}
+
+// TestBuildAllWorkersIdentical asserts bit-identical DAGs for every worker
+// count (the slot-indexed build has no shared mutable state).
+func TestBuildAllWorkersIdentical(t *testing.T) {
+	m := mesh.KuhnBox(mesh.BoxSpec{NX: 4, NY: 4, NZ: 4, Jitter: 0.15, Seed: 3})
+	dirs, err := quadrature.Octant(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := BuildAllWorkers(m, dirs, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := BuildAllWorkers(m, dirs, workers)
+		for i := range ref {
+			if got[i].NumEdges() != ref[i].NumEdges() ||
+				got[i].NumLevels != ref[i].NumLevels ||
+				got[i].RemovedEdges != ref[i].RemovedEdges {
+				t.Fatalf("workers=%d direction %d differs from serial build", workers, i)
+			}
+			for v := int32(0); v < int32(ref[i].N); v++ {
+				if got[i].Level[v] != ref[i].Level[v] {
+					t.Fatalf("workers=%d direction %d cell %d level differs", workers, i, v)
+				}
+			}
+		}
 	}
 }

@@ -172,7 +172,7 @@ func AblateAssignment(cfg Config) error {
 					return err
 				}
 				sumRatio += lb.Ratio(s.Makespan, inst)
-				sumC1 += sched.C1(inst, assign)
+				sumC1 += sched.C1(inst, assign, cfg.Workers)
 			}
 			tbl.AddRow(m, pol.name, sumRatio/float64(cfg.Trials), sumC1/int64(cfg.Trials))
 		}

@@ -95,7 +95,7 @@ func Accept(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	c1Cell, c1Block := sched.C1(inst, cellAssign), sched.C1(inst, blockAssign)
+	c1Cell, c1Block := sched.C1(inst, cellAssign, cfg.Workers), sched.C1(inst, blockAssign, cfg.Workers)
 	cut := float64(c1Cell) / float64(c1Block)
 	check("A2a", "block cuts C1 by >= 2x", cut, 2, cut >= 2)
 	growth := float64(sBlock.Makespan) / float64(sCell.Makespan)
@@ -114,7 +114,7 @@ func Accept(cfg Config) error {
 	check("A3", "alg2 makespan <= alg1 makespan", adv, 1, adv >= 1)
 
 	// A4: C2 <= C1 (per-step maxima cannot exceed the total edge count).
-	met := sched.Measure(sRDP)
+	met := sched.Measure(sRDP, cfg.Workers)
 	check("A4", "C2 <= C1", float64(met.C2), float64(met.C1), met.C2 <= met.C1)
 
 	// A5: DFDS and alg2 within 35% of each other at small m.
@@ -126,11 +126,11 @@ func Accept(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	sD, err := heuristics.Run(heuristics.DFDS, instSmall, smallAssign, rng.New(cfg.Seed^0xa51))
+	sD, err := heuristics.Run(heuristics.DFDS, instSmall, smallAssign, rng.New(cfg.Seed^0xa51), cfg.Workers)
 	if err != nil {
 		return err
 	}
-	sR, err := heuristics.Run(heuristics.RandomDelaysPriority, instSmall, smallAssign, rng.New(cfg.Seed^0xa52))
+	sR, err := heuristics.Run(heuristics.RandomDelaysPriority, instSmall, smallAssign, rng.New(cfg.Seed^0xa52), cfg.Workers)
 	if err != nil {
 		return err
 	}

@@ -39,8 +39,10 @@ type Config struct {
 	Out io.Writer
 	// CSV switches table rendering from aligned text to CSV rows.
 	CSV bool
-	// Workers bounds the parallelism of row evaluation inside an
-	// experiment (0 = GOMAXPROCS). Output is identical regardless.
+	// Workers bounds the parallelism inside an experiment — both row
+	// evaluation and the per-direction pipeline stages (priorities,
+	// C1/C2 accumulation) of each run (0 = GOMAXPROCS). Output is
+	// identical regardless.
 	Workers int
 }
 

@@ -132,8 +132,8 @@ func TestBlockAssignmentReducesC1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1Cell := sched.C1(inst, cellAssign)
-	c1Block := sched.C1(inst, blockAssign)
+	c1Cell := sched.C1(inst, cellAssign, 0)
+	c1Block := sched.C1(inst, blockAssign, 0)
 	if c1Block*2 >= c1Cell {
 		t.Fatalf("block C1 %d not well below cell C1 %d", c1Block, c1Cell)
 	}

@@ -47,7 +47,7 @@ func CommDelay(cfg Config) error {
 	fmt.Fprintf(cfg.Out, "# commdelay: uniform comm cost c on %s (n=%d, k=24, m=%d, block=%d)\n",
 		w.MeshName, w.Mesh.NCells(), m, bs)
 	tbl := stats.NewTable("c", "ms_cell", "ms_block", "block/cell")
-	prio := heuristics.LevelPriorities(inst)
+	prio := heuristics.LevelPriorities(inst, cfg.Workers)
 	for _, c := range []int{0, 2, 8, 32, 128} {
 		var sumCell, sumBlock float64
 		for trial := 0; trial < cfg.Trials; trial++ {
@@ -134,7 +134,7 @@ func NonGeometric(cfg Config) error {
 			for trial := 0; trial < cfg.Trials; trial++ {
 				r := rng.New(cfg.Seed ^ 0x9d ^ uint64(trial))
 				assign := sched.RandomAssignment(inst.N(), m, r)
-				s, err := heuristics.Run(name, inst, assign, r)
+				s, err := heuristics.Run(name, inst, assign, r, cfg.Workers)
 				if err != nil {
 					return err
 				}
@@ -173,7 +173,7 @@ func ColorRounds(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		c2 := sched.C2(s)
+		c2 := sched.C2(s, cfg.Workers)
 		greedy, distrib, err := realizedRounds(s, cfg.Seed)
 		if err != nil {
 			return err

@@ -108,7 +108,7 @@ func Fig2b(cfg Config) error {
 				if err != nil {
 					return err
 				}
-				met := sched.Measure(s)
+				met := sched.Measure(s, cfg.Workers)
 				sum1 += met.C1
 				sum2 += met.C2
 			}

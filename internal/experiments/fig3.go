@@ -44,7 +44,7 @@ func runHeuristicRatios(cfg Config, meshName string, blockSize int, ks []int, na
 					if err != nil {
 						return nil, err
 					}
-					return heuristics.Run(name, inst, assign, r)
+					return heuristics.Run(name, inst, assign, r, 1)
 				})
 				if err != nil {
 					return nil, err

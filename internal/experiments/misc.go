@@ -139,7 +139,7 @@ func BlockTradeoff(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			met := sched.Measure(s)
+			met := sched.Measure(s, cfg.Workers)
 			sumMs += float64(met.Makespan)
 			sumC1 += met.C1
 			sumC2 += met.C2

@@ -74,7 +74,7 @@ func OptRatio(cfg Config) error {
 				{heuristics.Level, &sumLevel},
 				{heuristics.DFDS, &sumDfds},
 			} {
-				s, err := heuristics.Run(x.name, inst, assign, rng.New(seed^0xfeed))
+				s, err := heuristics.Run(x.name, inst, assign, rng.New(seed^0xfeed), 1)
 				if err != nil {
 					return err
 				}

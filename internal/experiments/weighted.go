@@ -80,7 +80,7 @@ func Weighted(cfg Config) error {
 			}
 			row := []interface{}{m, ac.name}
 			for _, name := range []heuristics.Name{heuristics.Level, heuristics.RandomDelaysPriority, heuristics.DFDS} {
-				prio, err := weightedPriorityFor(name, inst, assign, rng.New(cfg.Seed^0x321))
+				prio, err := weightedPriorityFor(name, inst, assign, rng.New(cfg.Seed^0x321), cfg.Workers)
 				if err != nil {
 					return err
 				}
@@ -90,7 +90,7 @@ func Weighted(cfg Config) error {
 				}
 				row = append(row, float64(s.Makespan)/loadLB)
 			}
-			row = append(row, sched.C1(inst, assign))
+			row = append(row, sched.C1(inst, assign, cfg.Workers))
 			tbl.AddRow(row...)
 		}
 	}
@@ -100,12 +100,12 @@ func Weighted(cfg Config) error {
 // weightedPriorityFor maps scheduler names onto priority vectors for the
 // weighted engine (the random-delay variants fold delays into priorities,
 // as in Algorithm 2).
-func weightedPriorityFor(name heuristics.Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source) (sched.Priorities, error) {
+func weightedPriorityFor(name heuristics.Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source, workers int) (sched.Priorities, error) {
 	switch name {
 	case heuristics.Level:
-		return heuristics.LevelPriorities(inst), nil
+		return heuristics.LevelPriorities(inst, workers), nil
 	case heuristics.RandomDelaysPriority:
-		prio := heuristics.LevelPriorities(inst)
+		prio := heuristics.LevelPriorities(inst, workers)
 		n := int32(inst.N())
 		for i := 0; i < inst.K(); i++ {
 			delay := int64(r.Intn(inst.K()))
@@ -116,7 +116,7 @@ func weightedPriorityFor(name heuristics.Name, inst *sched.Instance, assign sche
 		}
 		return prio, nil
 	case heuristics.DFDS:
-		return heuristics.DFDSPriorities(inst, assign), nil
+		return heuristics.DFDSPriorities(inst, assign, workers), nil
 	}
 	return nil, fmt.Errorf("experiments: no weighted priority mapping for %s", name)
 }

@@ -10,25 +10,36 @@
 // Each heuristic can be combined with the paper's random-delays technique
 // (§5.2 studies exactly these combinations): direction i is held back by a
 // uniform random X_i ∈ {0..k-1} steps, implemented as task release times.
+//
+// Every priority function fans its per-direction work over a bounded worker
+// pool (internal/par): direction i computes into the slice segment
+// [i·n, (i+1)·n), so the result is byte-identical for every worker count.
+// All randomness is drawn before the fan-out, from per-direction substreams
+// (see core.Delays), never inside a parallel region.
 package heuristics
 
 import (
 	"sweepsched/internal/core"
+	"sweepsched/internal/par"
 	"sweepsched/internal/rng"
 	"sweepsched/internal/sched"
 )
 
 // LevelPriorities returns Γ(v,i) = level_i(v); list scheduling prefers
 // smaller values, matching the paper's "smaller priorities preferred".
-func LevelPriorities(inst *sched.Instance) sched.Priorities {
+// Directions are processed on up to workers goroutines (<= 0 selects
+// GOMAXPROCS); the result is identical for every worker count.
+func LevelPriorities(inst *sched.Instance, workers int) sched.Priorities {
 	n := int32(inst.N())
 	prio := make(sched.Priorities, inst.NTasks())
-	for i, d := range inst.DAGs {
+	_ = par.ForEach(inst.K(), workers, func(i int) error {
+		d := inst.DAGs[i]
 		base := int32(i) * n
 		for v := int32(0); v < n; v++ {
 			prio[base+v] = int64(d.Level[v])
 		}
-	}
+		return nil
+	})
 	return prio
 }
 
@@ -40,12 +51,15 @@ const ExactDescendantThreshold = 20000
 
 // DescendantPriorities returns the Plimpton-style priorities: the number of
 // descendants of (v,i) in G_i, negated so that the smallest-first list
-// scheduler runs high-descendant tasks first.
-func DescendantPriorities(inst *sched.Instance) sched.Priorities {
+// scheduler runs high-descendant tasks first. The per-direction descendant
+// counts — the most expensive priority computation in the lineup — run on
+// up to workers goroutines (<= 0 selects GOMAXPROCS).
+func DescendantPriorities(inst *sched.Instance, workers int) sched.Priorities {
 	n := int32(inst.N())
 	prio := make(sched.Priorities, inst.NTasks())
 	exact := inst.N() <= ExactDescendantThreshold
-	for i, d := range inst.DAGs {
+	_ = par.ForEach(inst.K(), workers, func(i int) error {
+		d := inst.DAGs[i]
 		base := int32(i) * n
 		if exact {
 			desc := d.DescendantsExact()
@@ -58,7 +72,8 @@ func DescendantPriorities(inst *sched.Instance) sched.Priorities {
 				prio[base+v] = -desc[v]
 			}
 		}
-	}
+		return nil
+	})
 	return prio
 }
 
@@ -73,11 +88,13 @@ func DescendantPriorities(inst *sched.Instance) sched.Priorities {
 //   - a task with no off-processor descendants gets 0.
 //
 // Higher priority is better, so values are negated for the
-// smallest-first list scheduler.
-func DFDSPriorities(inst *sched.Instance, assign sched.Assignment) sched.Priorities {
+// smallest-first list scheduler. Directions are independent (each works on
+// its own scratch and slice segment) and run on up to workers goroutines.
+func DFDSPriorities(inst *sched.Instance, assign sched.Assignment, workers int) sched.Priorities {
 	n := int32(inst.N())
 	prio := make(sched.Priorities, inst.NTasks())
-	for i, d := range inst.DAGs {
+	_ = par.ForEach(inst.K(), workers, func(i int) error {
+		d := inst.DAGs[i]
 		base := int32(i) * n
 		b := d.BLevels()
 		delta := int64(d.NumLevels) + 1
@@ -118,22 +135,25 @@ func DFDSPriorities(inst *sched.Instance, assign sched.Assignment) sched.Priorit
 		for v := int32(0); v < n; v++ {
 			prio[base+v] = -raw[v]
 		}
-	}
+		return nil
+	})
 	return prio
 }
 
 // delayReleases converts per-direction random delays into task release
-// times.
-func delayReleases(inst *sched.Instance, r *rng.Source) []int32 {
+// times. The delays are drawn (from per-direction substreams of r) before
+// the fan-out; the fill is a pure per-direction copy.
+func delayReleases(inst *sched.Instance, r *rng.Source, workers int) []int32 {
 	delays := core.Delays(inst.K(), r)
 	n := int32(inst.N())
 	rel := make([]int32, inst.NTasks())
-	for i := range inst.DAGs {
+	_ = par.ForEach(inst.K(), workers, func(i int) error {
 		base := int32(i) * n
 		for v := int32(0); v < n; v++ {
 			rel[base+v] = delays[i]
 		}
-	}
+		return nil
+	})
 	return rel
 }
 
@@ -165,10 +185,12 @@ func AllNames() []Name {
 }
 
 // Run executes the named scheduler on the instance with the given
-// assignment and randomness source. Every scheduler uses the same
-// assignment, so C1 is identical across them (as in §5.2, which compares
-// makespans only for that reason).
-func Run(name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source) (*sched.Schedule, error) {
+// assignment and randomness source, computing priorities on up to workers
+// goroutines (<= 0 selects GOMAXPROCS; the schedule is identical for every
+// worker count). Every scheduler uses the same assignment, so C1 is
+// identical across them (as in §5.2, which compares makespans only for
+// that reason).
+func Run(name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source, workers int) (*sched.Schedule, error) {
 	switch name {
 	case RandomDelays:
 		return core.RandomDelayWithAssignment(inst, assign, r)
@@ -177,17 +199,17 @@ func Run(name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source
 	case ImprovedDelays:
 		return core.ImprovedRandomDelayPrioritiesWithAssignment(inst, assign, r)
 	case Level:
-		return sched.ListSchedule(inst, assign, LevelPriorities(inst))
+		return sched.ListSchedule(inst, assign, LevelPriorities(inst, workers))
 	case LevelDelays:
-		return sched.ListScheduleWithRelease(inst, assign, LevelPriorities(inst), delayReleases(inst, r))
+		return sched.ListScheduleWithRelease(inst, assign, LevelPriorities(inst, workers), delayReleases(inst, r, workers))
 	case Descendant:
-		return sched.ListSchedule(inst, assign, DescendantPriorities(inst))
+		return sched.ListSchedule(inst, assign, DescendantPriorities(inst, workers))
 	case DescendantDelays:
-		return sched.ListScheduleWithRelease(inst, assign, DescendantPriorities(inst), delayReleases(inst, r))
+		return sched.ListScheduleWithRelease(inst, assign, DescendantPriorities(inst, workers), delayReleases(inst, r, workers))
 	case DFDS:
-		return sched.ListSchedule(inst, assign, DFDSPriorities(inst, assign))
+		return sched.ListSchedule(inst, assign, DFDSPriorities(inst, assign, workers))
 	case DFDSDelays:
-		return sched.ListScheduleWithRelease(inst, assign, DFDSPriorities(inst, assign), delayReleases(inst, r))
+		return sched.ListScheduleWithRelease(inst, assign, DFDSPriorities(inst, assign, workers), delayReleases(inst, r, workers))
 	}
 	return nil, errUnknown(name)
 }

@@ -28,7 +28,7 @@ func testInstance(t testing.TB, nx, k, m int, seed uint64) *sched.Instance {
 
 func TestLevelPrioritiesMatchDAGLevels(t *testing.T) {
 	inst := testInstance(t, 2, 4, 2, 1)
-	prio := LevelPriorities(inst)
+	prio := LevelPriorities(inst, 0)
 	n := int32(inst.N())
 	for i, d := range inst.DAGs {
 		base := int32(i) * n
@@ -46,7 +46,7 @@ func TestDescendantPrioritiesOrdering(t *testing.T) {
 	msh := mesh.RegularHex(4, 1, 1)
 	d := dag.Build(msh, geom.Vec3{X: 1})
 	inst, _ := sched.FromDAGs([]*dag.DAG{d}, 2)
-	prio := DescendantPriorities(inst)
+	prio := DescendantPriorities(inst, 0)
 	for v := 0; v < 3; v++ {
 		if prio[v] >= prio[v+1] {
 			t.Fatalf("descendant priorities not decreasing along chain: %v", prio[:4])
@@ -66,7 +66,7 @@ func TestDFDSPrioritiesStructure(t *testing.T) {
 	d := dag.Build(msh, geom.Vec3{X: 1})
 	inst, _ := sched.FromDAGs([]*dag.DAG{d}, 2)
 	assign := sched.Assignment{0, 0, 1, 1}
-	prio := DFDSPriorities(inst, assign)
+	prio := DFDSPriorities(inst, assign, 0)
 	// b-levels: 4,3,2,1. Cell 1 has off-processor child 2 (b=2), so raw(1) =
 	// 2 + Δ with Δ = NumLevels+1 = 5 → 7. Cell 0's child 1 is on-processor
 	// but has off-processor descendants: raw(0) = raw(1)-1 = 6. Cells 2,3
@@ -84,7 +84,7 @@ func TestDFDSNoOffProcessor(t *testing.T) {
 	msh := mesh.RegularHex(4, 1, 1)
 	d := dag.Build(msh, geom.Vec3{X: 1})
 	inst, _ := sched.FromDAGs([]*dag.DAG{d}, 1)
-	prio := DFDSPriorities(inst, sched.Assignment{0, 0, 0, 0})
+	prio := DFDSPriorities(inst, sched.Assignment{0, 0, 0, 0}, 0)
 	for v, p := range prio {
 		if p != 0 {
 			t.Fatalf("prio[%d] = %d, want 0", v, p)
@@ -96,7 +96,7 @@ func TestRunAllSchedulersValid(t *testing.T) {
 	inst := testInstance(t, 3, 8, 4, 2)
 	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(3))
 	for _, name := range AllNames() {
-		s, err := Run(name, inst, assign, rng.New(5))
+		s, err := Run(name, inst, assign, rng.New(5), 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -112,7 +112,7 @@ func TestRunAllSchedulersValid(t *testing.T) {
 func TestRunUnknownScheduler(t *testing.T) {
 	inst := testInstance(t, 2, 4, 2, 3)
 	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(1))
-	if _, err := Run(Name("bogus"), inst, assign, rng.New(1)); err == nil {
+	if _, err := Run(Name("bogus"), inst, assign, rng.New(1), 0); err == nil {
 		t.Fatal("unknown scheduler accepted")
 	}
 }
@@ -123,11 +123,11 @@ func TestAllSchedulersSameC1(t *testing.T) {
 	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(7))
 	var c1 int64 = -1
 	for _, name := range AllNames() {
-		s, err := Run(name, inst, assign, rng.New(9))
+		s, err := Run(name, inst, assign, rng.New(9), 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		got := sched.C1(inst, s.Assign)
+		got := sched.C1(inst, s.Assign, 0)
 		if c1 == -1 {
 			c1 = got
 		} else if got != c1 {
@@ -140,7 +140,7 @@ func TestDelayedVariantsStillComplete(t *testing.T) {
 	inst := testInstance(t, 2, 8, 2, 5)
 	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(11))
 	for _, name := range []Name{LevelDelays, DescendantDelays, DFDSDelays} {
-		s, err := Run(name, inst, assign, rng.New(13))
+		s, err := Run(name, inst, assign, rng.New(13), 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -191,7 +191,7 @@ func TestQuickHeuristicsValid(t *testing.T) {
 			return false
 		}
 		assign := sched.RandomAssignment(inst.N(), m, rng.New(seed))
-		s, err := Run(names[int(nameRaw)%len(names)], inst, assign, rng.New(seed^0x9e))
+		s, err := Run(names[int(nameRaw)%len(names)], inst, assign, rng.New(seed^0x9e), 0)
 		return err == nil && s.Validate() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -204,7 +204,7 @@ func BenchmarkDFDSPriorities(b *testing.B) {
 	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		DFDSPriorities(inst, assign)
+		DFDSPriorities(inst, assign, 0)
 	}
 }
 
@@ -213,7 +213,7 @@ func BenchmarkRunDFDS(b *testing.B) {
 	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(DFDS, inst, assign, rng.New(uint64(i))); err != nil {
+		if _, err := Run(DFDS, inst, assign, rng.New(uint64(i)), 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,9 +1,11 @@
 // Package par provides the small deterministic parallel-iteration helpers
-// used by the experiment drivers: fan a fixed index range over a bounded
-// worker pool, collect per-index results in order, and stop early on the
-// first error. Determinism comes from indexing, not scheduling: every
+// used throughout the pipeline (DAG induction, priority computation, metric
+// accumulation) and by the experiment drivers: fan a fixed index range over
+// a bounded worker pool, collect per-index results in order, and stop early
+// on the first error. Determinism comes from indexing, not scheduling: every
 // index computes into its own slot, so output never depends on goroutine
-// interleaving.
+// interleaving, and any reduction over the slots is performed by the caller
+// in index order.
 package par
 
 import (
@@ -12,16 +14,37 @@ import (
 	"sync/atomic"
 )
 
+// Workers normalizes a worker-count knob: w <= 0 selects GOMAXPROCS,
+// anything else is returned unchanged. It is the single interpretation of
+// the `Workers` options plumbed through the public API.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
 // ForEach runs fn(i) for i in [0, n) on up to workers goroutines
-// (workers <= 0 selects GOMAXPROCS). It returns the first error by index
-// order; later indices may or may not have run once an error occurs.
+// (workers <= 0 selects GOMAXPROCS; the pool never exceeds n).
+//
+// Error contract: ForEach returns the lowest-index error — the error
+// recorded at the smallest index among all indices whose fn call returned
+// non-nil. Once any call fails, workers stop claiming new indices, so
+// higher indices may never run; indices below the returned one either
+// succeeded or were already in flight when the failure occurred. With
+// workers == 1 execution is a plain serial loop and the first (lowest)
+// failing index short-circuits exactly as a for-loop would.
+//
+// Panic contract: a panic inside fn is captured, the pool drains, and the
+// panic is re-raised on the calling goroutine with its original value
+// (lowest panicking index wins, and a panic at a lower index outranks an
+// error at a higher one, matching serial execution order). Callers
+// therefore observe panics exactly as they would from a serial loop.
 func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
@@ -34,6 +57,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
+	panics := make([]*panicValue, n)
 	var next int64 = -1
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -46,19 +70,39 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
-					errs[i] = err
+				if pv := protect(fn, i, errs); pv != nil {
+					panics[i] = pv
+					failed.Store(true)
+				} else if errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for i := 0; i < n; i++ {
+		if panics[i] != nil {
+			panic(panics[i].v)
+		}
+		if errs[i] != nil {
+			return errs[i]
 		}
 	}
+	return nil
+}
+
+// panicValue distinguishes "fn panicked with nil" from "fn did not panic".
+type panicValue struct{ v interface{} }
+
+// protect runs fn(i), storing its error in errs[i] and converting a panic
+// into a returned panicValue so the pool can drain before re-raising.
+func protect(fn func(i int) error, i int, errs []error) (pv *panicValue) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = &panicValue{r}
+		}
+	}()
+	errs[i] = fn(i)
 	return nil
 }
 

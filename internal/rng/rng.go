@@ -71,6 +71,29 @@ func (r *Source) Fork() *Source {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// Substream derives the i-th member of a family of independent child
+// streams as a pure function of r's *current* state and i, without
+// advancing r. Unlike Fork (which consumes a draw per child, making child
+// identity depend on call order), Substream(i) gives the same stream no
+// matter when — or from which goroutine's loop iteration — it is derived.
+// This is the primitive behind per-direction randomness in parallel
+// regions: draws are identical at Workers=1 and Workers=N because each
+// direction's stream depends only on (parent state, direction index).
+//
+// The caller is responsible for advancing r afterwards (a single Uint64
+// draw suffices) if a later Substream family must differ from this one.
+func (r *Source) Substream(i uint64) *Source {
+	// Digest the four state words and the stream index through splitmix64;
+	// each absorb step is a full avalanche, so nearby (state, i) pairs give
+	// decorrelated seeds.
+	d := NewSplitMix64(r.s[0])
+	d.state ^= d.Next() ^ r.s[1]
+	d.state ^= d.Next() ^ r.s[2]
+	d.state ^= d.Next() ^ r.s[3]
+	d.state ^= d.Next() ^ (i+1)*0x9e3779b97f4a7c15
+	return New(d.Next())
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
 	s := &r.s

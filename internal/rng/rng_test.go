@@ -81,6 +81,58 @@ func TestForkReproducible(t *testing.T) {
 	}
 }
 
+func TestSubstreamPureOfStateAndIndex(t *testing.T) {
+	// Same parent state + same index => same stream, independent of the
+	// order substreams are derived in and of later parent draws.
+	a := New(11)
+	b := New(11)
+	s3a := a.Substream(3)
+	_ = a.Substream(0) // derivation order must not matter
+	s0b := b.Substream(0)
+	_ = s0b
+	s3b := b.Substream(3)
+	for i := 0; i < 100; i++ {
+		if s3a.Uint64() != s3b.Uint64() {
+			t.Fatalf("substream 3 depends on derivation order (draw %d)", i)
+		}
+	}
+	// Deriving must not advance the parent.
+	p1, p2 := New(11), New(11)
+	_ = p1.Substream(42)
+	for i := 0; i < 100; i++ {
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatalf("Substream advanced the parent (draw %d)", i)
+		}
+	}
+}
+
+func TestSubstreamsDistinct(t *testing.T) {
+	parent := New(5)
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 256; i++ {
+		v := parent.Substream(i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("substreams %d and %d share first draw %x", j, i, v)
+		}
+		seen[v] = i
+	}
+	// And substreams differ from the parent's own stream.
+	p := New(5)
+	if p.Substream(0).Uint64() == p.Uint64() {
+		t.Fatal("substream 0 aliases the parent stream")
+	}
+}
+
+func TestSubstreamShiftsWithParentState(t *testing.T) {
+	p := New(17)
+	before := p.Substream(1).Uint64()
+	p.Uint64()
+	after := p.Substream(1).Uint64()
+	if before == after {
+		t.Fatal("substream family did not change after advancing the parent")
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	r := New(3)
 	for _, n := range []int{1, 2, 3, 7, 10, 1000, 1 << 20} {

@@ -154,5 +154,5 @@ func ValidateComm(s *Schedule, commDelay int) error {
 // round of the C2 model: makespan + C2. This is the "both objectives at
 // once" cost the two measures of §5 bracket.
 func RealizedMakespan(s *Schedule) int64 {
-	return int64(s.Makespan) + C2(s)
+	return int64(s.Makespan) + C2(s, 0)
 }

@@ -155,7 +155,7 @@ func TestRealizedMakespan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := RealizedMakespan(s); got != int64(s.Makespan)+C2(s) {
+	if got := RealizedMakespan(s); got != int64(s.Makespan)+C2(s, 0) {
 		t.Fatalf("RealizedMakespan = %d", got)
 	}
 }

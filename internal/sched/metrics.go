@@ -5,13 +5,25 @@ package sched
 // interprocessor DAG edges; C2 charges, after every computation step, the
 // maximum number of off-processor messages any single processor must send
 // (the "Max Off-Proc-Outdegree" series in the paper's Figure 2(b)).
+//
+// Both metrics decompose into independent partial counts — C1 per
+// direction, C2 per schedule step — so they fan over a bounded worker pool
+// (internal/par) and reduce the partials in index order. Integer partial
+// sums reduced in a fixed order make the totals identical for every worker
+// count.
+
+import "sweepsched/internal/par"
 
 // C1 counts the edges ((u,i),(v,i)) over all direction DAGs whose endpoint
 // cells are assigned to different processors. It depends only on the
-// assignment, not on task start times.
-func C1(inst *Instance, assign Assignment) int64 {
-	var cut int64
-	for _, d := range inst.DAGs {
+// assignment, not on task start times. Directions are counted on up to
+// workers goroutines (<= 0 selects GOMAXPROCS), each into its own slot,
+// and the per-direction partials are summed in direction order.
+func C1(inst *Instance, assign Assignment, workers int) int64 {
+	partial := make([]int64, len(inst.DAGs))
+	_ = par.ForEach(len(inst.DAGs), workers, func(i int) error {
+		d := inst.DAGs[i]
+		var cut int64
 		for u := int32(0); u < int32(d.N); u++ {
 			pu := assign[u]
 			for _, w := range d.Out(u) {
@@ -20,6 +32,12 @@ func C1(inst *Instance, assign Assignment) int64 {
 				}
 			}
 		}
+		partial[i] = cut
+		return nil
+	})
+	var cut int64
+	for _, c := range partial {
+		cut += c
 	}
 	return cut
 }
@@ -29,15 +47,18 @@ func C1(inst *Instance, assign Assignment) int64 {
 // the number of edges from tasks finishing at t to tasks on other
 // processors. The sum over steps is the schedule's total communication
 // time.
-func C2(s *Schedule) int64 {
+//
+// Steps are independent (the per-processor message counters reset between
+// steps), so contiguous step ranges are charged on up to workers
+// goroutines, each with private scratch, and the per-range partial totals
+// are summed in range order.
+func C2(s *Schedule, workers int) int64 {
 	inst := s.Inst
 	steps := s.Makespan
 	if steps == 0 {
 		return 0
 	}
-	// perStep[p] counts messages processor p sends after the current step.
-	perStep := make([]int32, inst.M)
-	// Group tasks by start step.
+	// Group tasks by start step (serial prep; O(tasks)).
 	counts := make([]int32, steps+1)
 	for _, st := range s.Start {
 		counts[st+1]++
@@ -52,34 +73,59 @@ func C2(s *Schedule) int64 {
 		cursor[st]++
 	}
 
-	var total int64
-	for st := 0; st < steps; st++ {
-		lo, hi := counts[st], counts[st+1]
-		if lo == hi {
-			continue
+	// Charge step ranges in parallel. A few chunks per worker smooths out
+	// ranges whose steps carry uneven task counts.
+	w := par.Workers(workers)
+	chunks := w * 4
+	if chunks > steps {
+		chunks = steps
+	}
+	per := (steps + chunks - 1) / chunks
+	partial := make([]int64, chunks)
+	_ = par.ForEach(chunks, workers, func(c int) error {
+		loStep := c * per
+		hiStep := loStep + per
+		if hiStep > steps {
+			hiStep = steps
 		}
+		// perStep[p] counts messages processor p sends after the current step.
+		perStep := make([]int32, inst.M)
+		var total int64
 		var touched []int32
-		maxMsgs := int32(0)
-		for _, t := range order[lo:hi] {
-			v, i := inst.Split(t)
-			p := s.Assign[v]
-			d := inst.DAGs[i]
-			for _, w := range d.Out(v) {
-				if s.Assign[w] != p {
-					if perStep[p] == 0 {
-						touched = append(touched, p)
-					}
-					perStep[p]++
-					if perStep[p] > maxMsgs {
-						maxMsgs = perStep[p]
+		for st := loStep; st < hiStep; st++ {
+			lo, hi := counts[st], counts[st+1]
+			if lo == hi {
+				continue
+			}
+			maxMsgs := int32(0)
+			for _, t := range order[lo:hi] {
+				v, i := inst.Split(t)
+				p := s.Assign[v]
+				d := inst.DAGs[i]
+				for _, w := range d.Out(v) {
+					if s.Assign[w] != p {
+						if perStep[p] == 0 {
+							touched = append(touched, p)
+						}
+						perStep[p]++
+						if perStep[p] > maxMsgs {
+							maxMsgs = perStep[p]
+						}
 					}
 				}
 			}
+			total += int64(maxMsgs)
+			for _, p := range touched {
+				perStep[p] = 0
+			}
+			touched = touched[:0]
 		}
-		total += int64(maxMsgs)
-		for _, p := range touched {
-			perStep[p] = 0
-		}
+		partial[c] = total
+		return nil
+	})
+	var total int64
+	for _, t := range partial {
+		total += t
 	}
 	return total
 }
@@ -91,11 +137,13 @@ type Metrics struct {
 	C2       int64
 }
 
-// Measure computes all metrics of a schedule.
-func Measure(s *Schedule) Metrics {
+// Measure computes all metrics of a schedule on up to workers goroutines
+// (<= 0 selects GOMAXPROCS). The result is identical for every worker
+// count.
+func Measure(s *Schedule, workers int) Metrics {
 	return Metrics{
 		Makespan: s.Makespan,
-		C1:       C1(s.Inst, s.Assign),
-		C2:       C2(s),
+		C1:       C1(s.Inst, s.Assign, workers),
+		C2:       C2(s, workers),
 	}
 }

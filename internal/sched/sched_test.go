@@ -266,13 +266,13 @@ func TestC1CountsInterprocEdges(t *testing.T) {
 	d := dag.Build(msh, geom.Vec3{X: 1})
 	inst, _ := FromDAGs([]*dag.DAG{d}, 2)
 	// Edges 0->1->2->3. Split {0,1} vs {2,3}: one crossing edge.
-	if got := C1(inst, Assignment{0, 0, 1, 1}); got != 1 {
+	if got := C1(inst, Assignment{0, 0, 1, 1}, 0); got != 1 {
 		t.Fatalf("C1 = %d, want 1", got)
 	}
-	if got := C1(inst, Assignment{0, 1, 0, 1}); got != 3 {
+	if got := C1(inst, Assignment{0, 1, 0, 1}, 0); got != 3 {
 		t.Fatalf("C1 = %d, want 3", got)
 	}
-	if got := C1(inst, Assignment{0, 0, 0, 0}); got != 0 {
+	if got := C1(inst, Assignment{0, 0, 0, 0}, 0); got != 0 {
 		t.Fatalf("C1 = %d, want 0", got)
 	}
 }
@@ -288,12 +288,12 @@ func TestC2ChainAlternating(t *testing.T) {
 	}
 	// Serial chain: steps 0..3, each step sends exactly one message except
 	// the last: C2 = 3.
-	if got := C2(s); got != 3 {
+	if got := C2(s, 0); got != 3 {
 		t.Fatalf("C2 = %d, want 3", got)
 	}
 	// All on one processor: no messages.
 	s2, _ := ListSchedule(inst, Assignment{0, 0, 0, 0}, nil)
-	if got := C2(s2); got != 0 {
+	if got := C2(s2, 0); got != 0 {
 		t.Fatalf("C2 = %d, want 0", got)
 	}
 }
@@ -310,7 +310,7 @@ func TestC2MaxPerStepNotSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := C2(s); got != 1 {
+	if got := C2(s, 0); got != 1 {
 		t.Fatalf("C2 = %d, want 1 (max per step)", got)
 	}
 }
@@ -322,7 +322,7 @@ func TestMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := Measure(s)
+	m := Measure(s, 0)
 	if m.Makespan != s.Makespan {
 		t.Fatal("Measure makespan mismatch")
 	}

@@ -46,10 +46,10 @@ func TestRunCrossChecksC1AndC2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := sched.C1(s.Inst, s.Assign); res.TotalMessages != want {
+	if want := sched.C1(s.Inst, s.Assign, 0); res.TotalMessages != want {
 		t.Fatalf("simulator counted %d messages, C1 = %d", res.TotalMessages, want)
 	}
-	if want := sched.C2(s); res.CommRounds != want {
+	if want := sched.C2(s, 0); res.CommRounds != want {
 		t.Fatalf("simulator comm rounds %d, C2 = %d", res.CommRounds, want)
 	}
 }
@@ -101,7 +101,7 @@ func TestRunAllHeuristics(t *testing.T) {
 	}
 	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(6))
 	for _, name := range heuristics.AllNames() {
-		s, err := heuristics.Run(name, inst, assign, rng.New(7))
+		s, err := heuristics.Run(name, inst, assign, rng.New(7), 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
