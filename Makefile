@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race fuzz bench bench-record
+.PHONY: check ci race resilience fuzz bench bench-record
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -11,10 +11,16 @@ check:
 race:
 	$(GO) test -race ./...
 
+# The fault-injection / recovery / cancellation suite under the race
+# detector, with a hard timeout so a deadlock fails instead of hanging.
+resilience:
+	$(GO) test -race -timeout 120s ./internal/faults ./internal/simulate ./internal/transport
+
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFromEdges$$' -fuzztime 10s ./internal/dag
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/mesh
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTrace$$' -fuzztime 10s ./internal/sched
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime 10s ./internal/faults
 
 ci:
 	./ci.sh

@@ -25,6 +25,7 @@
 package sweepsched
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -214,35 +215,10 @@ type Result struct {
 
 // Schedule runs the named scheduler and measures the outcome. The returned
 // schedule is validated; an invalid schedule is reported as an error (it
-// would indicate a bug, not bad luck).
+// would indicate a bug, not bad luck). ScheduleCtx adds cooperative
+// cancellation between the pipeline stages.
 func (p *Problem) Schedule(alg Scheduler, opts ScheduleOptions) (*Result, error) {
-	r := rng.New(opts.Seed)
-	var assign sched.Assignment
-	if opts.BlockSize <= 1 {
-		assign = sched.RandomAssignment(p.inst.N(), p.inst.M, r)
-	} else {
-		g, err := partitionGraph(p.inst)
-		if err != nil {
-			return nil, err
-		}
-		part, nBlocks, err := blocksOf(g, opts.BlockSize, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
-	}
-	s, err := heuristics.Run(alg, p.inst, assign, r, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("sweepsched: scheduler %s produced an invalid schedule: %w", alg, err)
-	}
-	return &Result{
-		Schedule: s,
-		Metrics:  sched.Measure(s, opts.Workers),
-		Ratio:    lb.Ratio(s.Makespan, p.inst),
-	}, nil
+	return p.ScheduleCtx(context.Background(), alg, opts)
 }
 
 // ScheduleComm runs the named scheduler under the uniform

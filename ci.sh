@@ -21,9 +21,15 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== resilience: executors under -race with a hard timeout =="
+# The fault-injection / recovery / cancellation suite must never hang: a
+# deadlocked coordinator or leaked worker turns into a test failure here.
+go test -race -timeout 120s ./internal/faults ./internal/simulate ./internal/transport
+
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run '^$' -fuzz '^FuzzFromEdges$' -fuzztime "$FUZZTIME" ./internal/dag
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/mesh
 go test -run '^$' -fuzz '^FuzzDecodeTrace$' -fuzztime "$FUZZTIME" ./internal/sched
+go test -run '^$' -fuzz '^FuzzFaultPlan$' -fuzztime "$FUZZTIME" ./internal/faults
 
 echo "ci: all green"

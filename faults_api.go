@@ -1,0 +1,136 @@
+package sweepsched
+
+import (
+	"context"
+	"fmt"
+
+	"sweepsched/internal/faults"
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/lb"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/simulate"
+	"sweepsched/internal/transport"
+)
+
+// FaultKind classifies an injected fault event.
+type FaultKind = faults.Kind
+
+// The injectable fault kinds.
+const (
+	FaultCrash     = faults.Crash
+	FaultDrop      = faults.Drop
+	FaultDelay     = faults.Delay
+	FaultDuplicate = faults.Duplicate
+)
+
+// FaultSpec sets how many faults of each kind a plan should contain; see
+// the faults package for the knobs' semantics.
+type FaultSpec = faults.Spec
+
+// FaultEvent is one concrete injected fault.
+type FaultEvent = faults.Event
+
+// FaultPlan is a deterministic, seed-derived fault scenario for one
+// schedule. The same (schedule, spec, seed) always yields the same plan.
+type FaultPlan = faults.Plan
+
+// RecoveryReport accounts for a fault-injected execution: events applied,
+// recovery reschedules, replayed tasks, and step overheads. Its String
+// form is byte-for-byte reproducible for a fixed plan.
+type RecoveryReport = faults.RecoveryReport
+
+// UnrecoverableError is returned when every processor has crashed with
+// work remaining.
+type UnrecoverableError = faults.UnrecoverableError
+
+// NewFaultPlan draws a fault scenario for the result's schedule. Crash
+// steps, victim processors and affected messages are sampled from
+// independent substreams of the seed, so plans are reproducible and
+// comparable across specs.
+func NewFaultPlan(res *Result, spec FaultSpec, seed uint64) *FaultPlan {
+	return faults.NewPlan(res.Schedule, spec, seed)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: the context is
+// observed between the pipeline's stages (assignment, scheduling,
+// validation, metrics), so a cancelled run returns ctx.Err() without
+// finishing the remaining stages.
+func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleOptions) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := rng.New(opts.Seed)
+	var assign sched.Assignment
+	if opts.BlockSize <= 1 {
+		assign = sched.RandomAssignment(p.inst.N(), p.inst.M, r)
+	} else {
+		g, err := partitionGraph(p.inst)
+		if err != nil {
+			return nil, err
+		}
+		part, nBlocks, err := blocksOf(g, opts.BlockSize, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := heuristics.Run(alg, p.inst, assign, r, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sweepsched: scheduler %s produced an invalid schedule: %w", alg, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: s,
+		Metrics:  sched.Measure(s, opts.Workers),
+		Ratio:    lb.Ratio(s.Makespan, p.inst),
+	}, nil
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the executor
+// returns ctx.Err() within one barrier step, with every worker goroutine
+// joined.
+func (p *Problem) SimulateCtx(ctx context.Context, res *Result) (*SimulationResult, error) {
+	return simulate.RunCtx(ctx, res.Schedule)
+}
+
+// SimulateFaulty executes the result's schedule under a fault plan with
+// checkpointed recovery rescheduling. A nil plan injects nothing. The
+// RecoveryReport is returned even on error, describing the faults applied
+// before the failure.
+func (p *Problem) SimulateFaulty(ctx context.Context, res *Result, plan *FaultPlan) (*SimulationResult, *RecoveryReport, error) {
+	return simulate.RunFaulty(ctx, res.Schedule, plan)
+}
+
+// SolveTransportCtx is SolveTransport with cooperative cancellation
+// (observed once per source iteration).
+func (p *Problem) SolveTransportCtx(ctx context.Context, res *Result, cfg TransportConfig) (*TransportResult, error) {
+	return transport.SolveCtx(ctx, res.Schedule, cfg)
+}
+
+// SolveTransportParallelCtx is SolveTransportParallel with cooperative
+// cancellation: the coordinator observes ctx at every barrier and joins
+// every worker before returning ctx.Err().
+func (p *Problem) SolveTransportParallelCtx(ctx context.Context, res *Result, cfg TransportConfig) (*TransportResult, error) {
+	return transport.SolveParallelCtx(ctx, res.Schedule, cfg)
+}
+
+// SolveTransportFaultTolerant runs the transport source iteration on the
+// fault-injected recovery executor. Under any plan that leaves at least
+// one processor alive, the converged flux is bitwise-identical to the
+// serial SolveTransport; the RecoveryReport is byte-for-byte reproducible
+// for a fixed plan.
+func (p *Problem) SolveTransportFaultTolerant(ctx context.Context, res *Result, cfg TransportConfig, plan *FaultPlan) (*TransportResult, *RecoveryReport, error) {
+	return transport.SolveFaultTolerant(ctx, res.Schedule, cfg, plan)
+}

@@ -1,0 +1,79 @@
+package sweepsched
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func faultTestProblem(t *testing.T) (*Problem, *Result) {
+	t.Helper()
+	p, err := NewProblemFromFamily("tetonly", 0.02, 8, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Schedule(RandomDelaysPriority, ScheduleOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+func TestScheduleCtxCancelled(t *testing.T) {
+	p, _ := faultTestProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.ScheduleCtx(ctx, RandomDelaysPriority, ScheduleOptions{Seed: 5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestFaultPlanRoundTripThroughAPI(t *testing.T) {
+	p, res := faultTestProblem(t)
+	plan := NewFaultPlan(res, FaultSpec{Crashes: 2, Drops: 2}, 11)
+	if len(plan.Events) == 0 {
+		t.Fatal("empty plan")
+	}
+
+	sr, rep, err := p.SimulateFaulty(context.Background(), res, plan)
+	if err != nil {
+		t.Fatalf("%v (report %s)", err, rep)
+	}
+	if sr.Steps != rep.StepsExecuted {
+		t.Fatalf("steps %d != report %d", sr.Steps, rep.StepsExecuted)
+	}
+	if rep.Crashes != 2 {
+		t.Fatalf("report %s, want 2 crashes applied", rep)
+	}
+
+	cfg := TransportConfig{SigmaT: 1, SigmaS: 0.5, Source: 1}
+	want, err := p.SolveTransport(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := p.SolveTransportFaultTolerant(context.Background(), res, cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Phi {
+		if got.Phi[v] != want.Phi[v] {
+			t.Fatalf("recovered flux differs at cell %d: %g != %g", v, got.Phi[v], want.Phi[v])
+		}
+	}
+}
+
+func TestSolveTransportCtxVariantsCancelled(t *testing.T) {
+	p, res := faultTestProblem(t)
+	cfg := TransportConfig{SigmaT: 1, SigmaS: 0.5, Source: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.SolveTransportCtx(ctx, res, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveTransportCtx: got %v", err)
+	}
+	if _, err := p.SolveTransportParallelCtx(ctx, res, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveTransportParallelCtx: got %v", err)
+	}
+	if _, err := p.SimulateCtx(ctx, res); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SimulateCtx: got %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"sweepsched/internal/faults"
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/simulate"
+	"sweepsched/internal/stats"
+)
+
+func init() {
+	Registry["resilience"] = Resilience
+}
+
+// Resilience measures the cost of fault recovery: the schedule is executed
+// on the message-passing simulator under seed-derived fault plans of
+// growing intensity, and the barrier-step penalty of checkpointed recovery
+// rescheduling is compared with the fault-free makespan. Each row averages
+// over Trials independent fault seeds on the same schedule, so the numbers
+// isolate the recovery mechanism from scheduling noise.
+func Resilience(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 8)
+	if err != nil {
+		return err
+	}
+	const m = 16
+	inst, err := w.Instance(m)
+	if err != nil {
+		return err
+	}
+	r := rng.New(cfg.Seed ^ 0xfa)
+	assign, err := w.Assignment(1, m, r)
+	if err != nil {
+		return err
+	}
+	s, err := heuristics.Run(heuristics.RandomDelaysPriority, inst, assign, r, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "# resilience: recovery overhead on %s (n=%d, k=8, m=%d, makespan=%d)\n",
+		w.MeshName, w.Mesh.NCells(), m, s.Makespan)
+	tbl := stats.NewTable("crashes", "drops", "delays", "steps", "penalty%", "replayed", "recoveries", "epochs")
+
+	specs := []faults.Spec{
+		{},
+		{Drops: 4, Delays: 4},
+		{Crashes: 1},
+		{Crashes: 2, Drops: 4},
+		{Crashes: 4, Drops: 8, Delays: 4},
+	}
+	ctx := context.Background()
+	for _, spec := range specs {
+		var steps, penalty, replayed, recoveries, epochs float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			plan := faults.NewPlan(s, spec, cfg.Seed^uint64(1000+trial))
+			_, rep, err := simulate.RunFaulty(ctx, s, plan)
+			if err != nil {
+				return fmt.Errorf("resilience: spec %+v trial %d: %w", spec, trial, err)
+			}
+			steps += float64(rep.StepsExecuted)
+			penalty += float64(rep.Penalty())
+			replayed += float64(rep.TasksReplayed)
+			recoveries += float64(rep.Recoveries)
+			epochs += float64(rep.Epochs)
+		}
+		n := float64(cfg.Trials)
+		tbl.AddRow(spec.Crashes, spec.Drops, spec.Delays,
+			steps/n, 100*(penalty/n)/float64(s.Makespan), replayed/n, recoveries/n, epochs/n)
+	}
+	return cfg.render(tbl)
+}

@@ -1,0 +1,533 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sweepsched/internal/lb"
+	"sweepsched/internal/sched"
+)
+
+// Compute produces the angular flux of one task from its averaged upwind
+// inflow. The transport solver supplies the cell-balance closure; the
+// machine simulator supplies a constant (it only tracks dependencies).
+// Compute must be a pure function of (task, inflow) and state that is
+// constant within one sweep, so that replayed tasks reproduce their values
+// bitwise.
+type Compute func(t sched.TaskID, inflow float64) float64
+
+// RecoveryReport accounts for one fault-injected execution. With a fixed
+// plan it is identical byte-for-byte (via String) across runs and
+// GOMAXPROCS settings: every field is accumulated in barrier order or
+// per-processor, never in goroutine-arrival order.
+type RecoveryReport struct {
+	Seed uint64
+	// Faults actually applied (planned events whose step or message never
+	// occurred do not count).
+	Crashes, Drops, Delays, Duplicates int
+	Epochs                             int // executor epochs (1 = fault-free)
+	Recoveries                         int // checkpoint + reschedule cycles
+	TasksReplayed                      int // completions lost to crashes and re-executed
+	StepsExecuted                      int // global barrier steps run
+	StepsFaultFree                     int // steps the fault-free schedule would take
+	MessagesSent                       int64
+	CommRounds                         int64 // Σ_step max_p messages sent by p
+	DeadProcs                          []int32
+	// LastResidualBound is the load lower bound (lb.ResidualLoad) of the
+	// most recent residual reschedule; the residual makespan actually paid
+	// can be read off the step counts.
+	LastResidualBound int
+}
+
+// Penalty is the barrier-step overhead versus the fault-free execution.
+func (r *RecoveryReport) Penalty() int { return r.StepsExecuted - r.StepsFaultFree }
+
+// String renders the report deterministically.
+func (r *RecoveryReport) String() string {
+	return fmt.Sprintf("recovery: seed=%#x faults{crash=%d drop=%d delay=%d dup=%d} epochs=%d recoveries=%d replayed=%d steps=%d faultfree=%d penalty=%d msgs=%d rounds=%d dead=%v residual_bound=%d",
+		r.Seed, r.Crashes, r.Drops, r.Delays, r.Duplicates, r.Epochs, r.Recoveries,
+		r.TasksReplayed, r.StepsExecuted, r.StepsFaultFree, r.Penalty(),
+		r.MessagesSent, r.CommRounds, r.DeadProcs, r.LastResidualBound)
+}
+
+// Engine executes sweeps of a schedule on the simulated distributed
+// machine (one goroutine per live processor, channel interconnect,
+// barrier-synchronous steps) under an injected fault plan. It is stateful
+// across sweeps — crashed processors stay dead, and the recovered
+// assignment and schedule persist — so the transport solver can run its
+// source iteration through one engine.
+//
+// Execution proceeds in epochs. An epoch runs the current (residual)
+// schedule until it finishes, a planned crash fires, or a worker stalls on
+// a flux the injector withheld. Ending an epoch durably checkpoints every
+// completed task except those the crashed processor finished since the
+// last periodic checkpoint (those are lost and replayed); recovery then
+// reassigns the dead processor's cells onto the least-loaded survivors and
+// list-schedules the not-yet-done tasks (sched.ListScheduleResidual).
+type Engine struct {
+	inst   *sched.Instance
+	orig   *sched.Schedule
+	cur    *sched.Schedule
+	inj    *Injector
+	prio   sched.Priorities
+	assign sched.Assignment
+	live   []bool
+	nLive  int
+	dead   []int32
+
+	sinceCkpt   [][]sched.TaskID // per proc: completions since the last durable checkpoint
+	lastCkpt    int32
+	ckptEvery   int32
+	globalStep  int32
+	needRebuild bool
+	report      RecoveryReport
+}
+
+// NewEngine prepares a fault-injected executor for the schedule. plan may
+// be nil (no faults). The schedule must be feasible; infeasibility is
+// detected during execution and reported as an error.
+func NewEngine(s *sched.Schedule, plan *Plan) (*Engine, error) {
+	inst := s.Inst
+	if err := s.Assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	if len(s.Start) != inst.NTasks() {
+		return nil, fmt.Errorf("faults: schedule covers %d of %d tasks", len(s.Start), inst.NTasks())
+	}
+	e := &Engine{
+		inst:      inst,
+		orig:      s,
+		cur:       s,
+		inj:       NewInjector(plan),
+		assign:    append(sched.Assignment(nil), s.Assign...),
+		live:      make([]bool, inst.M),
+		nLive:     inst.M,
+		sinceCkpt: make([][]sched.TaskID, inst.M),
+		ckptEvery: Spec{}.withDefaults().CheckpointEvery,
+	}
+	for p := range e.live {
+		e.live[p] = true
+	}
+	if plan != nil {
+		e.report.Seed = plan.Seed
+		e.ckptEvery = plan.Spec.withDefaults().CheckpointEvery
+	}
+	// Residual rescheduling uses level priorities: cheap, deterministic,
+	// and a good list-scheduling order on sweep DAGs.
+	n := int32(inst.N())
+	e.prio = make(sched.Priorities, inst.NTasks())
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			e.prio[base+v] = int64(d.Level[v])
+		}
+	}
+	return e, nil
+}
+
+// Report returns a snapshot of the execution accounting.
+func (e *Engine) Report() *RecoveryReport {
+	r := e.report
+	r.Crashes = e.inj.Applied(Crash)
+	r.Drops = e.inj.Applied(Drop)
+	r.Delays = e.inj.Applied(Delay)
+	r.Duplicates = e.inj.Applied(Duplicate)
+	r.DeadProcs = append([]int32(nil), e.dead...)
+	sort.Slice(r.DeadProcs, func(a, b int) bool { return r.DeadProcs[a] < r.DeadProcs[b] })
+	return &r
+}
+
+// Sweep executes every task exactly once (replays excepted), writing each
+// task's flux into psi (indexed like the schedule's tasks), recovering
+// from injected faults as needed. It returns ctx.Err() promptly on
+// cancellation, an *UnrecoverableError once every processor has crashed
+// with work outstanding, or a descriptive error for infeasible schedules.
+func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) error {
+	nt := e.inst.NTasks()
+	if len(psi) != nt {
+		return fmt.Errorf("faults: psi has %d entries for %d tasks", len(psi), nt)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.needRebuild {
+		full, err := sched.ListScheduleResidual(e.inst, e.assign, e.prio, nil)
+		if err != nil {
+			return err
+		}
+		e.cur = full
+		e.needRebuild = false
+	}
+	e.report.StepsFaultFree += e.orig.Makespan
+
+	done := make([]bool, nt)
+	remaining := nt
+	cur := e.cur
+	for remaining > 0 {
+		if e.nLive == 0 {
+			return &UnrecoverableError{DeadProcs: e.Report().DeadProcs, Remaining: remaining}
+		}
+		var reason epochEnd
+		var err error
+		remaining, reason, err = e.runEpoch(ctx, cur, done, compute, psi, remaining)
+		if err != nil {
+			return err
+		}
+		if remaining == 0 {
+			break
+		}
+		switch reason {
+		case endCompleted:
+			return fmt.Errorf("faults: internal: epoch completed with %d tasks remaining", remaining)
+		case endCrash, endStall:
+			if e.nLive == 0 {
+				return &UnrecoverableError{DeadProcs: e.Report().DeadProcs, Remaining: remaining}
+			}
+			e.report.Recoveries++
+			e.report.LastResidualBound = lb.ResidualLoad(remaining, e.nLive)
+			cur, err = sched.ListScheduleResidual(e.inst, e.assign, e.prio, done)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type epochEnd uint8
+
+const (
+	endCompleted epochEnd = iota
+	endCrash
+	endStall
+)
+
+type stepMsg struct{ local, global int32 }
+
+type workerAck struct {
+	proc      int32
+	completed []sched.TaskID
+	sent      int32
+	stalled   bool
+	stallTask sched.TaskID // the task that could not run
+	stallMiss sched.TaskID // the upwind flux it is missing
+	err       error
+}
+
+// runEpoch executes the schedule's not-done tasks barrier-synchronously
+// until completion, a crash, or a stall. It owns the worker goroutines for
+// the epoch and always tears them down before returning (no leaks on any
+// path, including cancellation).
+func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
+	compute Compute, psi []float64, remaining int) (int, epochEnd, error) {
+
+	e.report.Epochs++
+	inst := e.inst
+	m := inst.M
+	nt := inst.NTasks()
+	assign := e.assign
+
+	// Group the epoch's tasks per (processor, local step) and size inboxes:
+	// exact cross-message counts plus slack for duplicated and re-delivered
+	// (delayed) messages, so channel sends never block.
+	byStep := make([]map[int32][]sched.TaskID, m)
+	for p := range byStep {
+		byStep[p] = map[int32][]sched.TaskID{}
+	}
+	crossIn := make([]int, m)
+	for t := 0; t < nt; t++ {
+		if done[t] {
+			continue
+		}
+		if cur.Start[t] < 0 {
+			return remaining, endCompleted, fmt.Errorf("faults: internal: task %d unscheduled in epoch", t)
+		}
+		v, i := inst.Split(sched.TaskID(t))
+		p := assign[v]
+		byStep[p][cur.Start[t]] = append(byStep[p][cur.Start[t]], sched.TaskID(t))
+		for _, w := range inst.DAGs[i].Out(v) {
+			if q := assign[w]; q != p {
+				crossIn[q]++
+			}
+		}
+	}
+	slack := 2
+	if e.inj.plan != nil {
+		slack += 2 * len(e.inj.plan.Events)
+	}
+	inbox := make([]chan Delivery, m)
+	for p := range inbox {
+		inbox[p] = make(chan Delivery, crossIn[p]+slack)
+	}
+	doneStart := append([]bool(nil), done...)
+
+	var spawned []int32
+	stepCh := make([]chan stepMsg, m)
+	reports := make(chan workerAck, m)
+	var wg sync.WaitGroup
+	for p := int32(0); p < int32(m); p++ {
+		if !e.live[p] {
+			continue
+		}
+		stepCh[p] = make(chan stepMsg)
+		spawned = append(spawned, p)
+		wg.Add(1)
+		go func(p int32) {
+			defer wg.Done()
+			e.worker(p, byStep[p], doneStart, inbox, stepCh[p], reports, compute, psi)
+		}(p)
+	}
+	teardown := func() {
+		for _, p := range spawned {
+			close(stepCh[p])
+		}
+		wg.Wait()
+		e.inj.DiscardDelayed()
+	}
+
+	for ls := int32(0); ls < int32(cur.Makespan); ls++ {
+		g := e.globalStep
+		// Planned crashes due at this barrier fire before the step runs:
+		// the processor completes steps strictly before its crash step.
+		var dying []int32
+		for _, p := range spawned {
+			if cs := e.inj.CrashStep(p); cs >= 0 && cs <= g {
+				dying = append(dying, p)
+			}
+		}
+		if len(dying) > 0 {
+			teardown()
+			remaining = e.applyCrashes(dying, done, remaining)
+			return remaining, endCrash, nil
+		}
+		// Periodic durable checkpoint: completions up to here can no longer
+		// be lost to a crash.
+		if g-e.lastCkpt >= e.ckptEvery {
+			for p := range e.sinceCkpt {
+				e.sinceCkpt[p] = e.sinceCkpt[p][:0]
+			}
+			e.lastCkpt = g
+		}
+		// Held (delayed) messages that matured are delivered before the
+		// barrier opens.
+		for _, dl := range e.inj.Matured(g) {
+			if e.live[dl.To] {
+				inbox[dl.To] <- dl
+			}
+		}
+		for _, p := range spawned {
+			select {
+			case stepCh[p] <- stepMsg{local: ls, global: g}:
+			case <-ctx.Done():
+				teardown()
+				return remaining, endCompleted, ctx.Err()
+			}
+		}
+		var stepMax int32
+		var feasErr error
+		feasProc := int32(-1)
+		stalled := false
+		unexplained := false
+		stallTask, stallMiss := sched.TaskID(-1), sched.TaskID(-1)
+		for range spawned {
+			select {
+			case a := <-reports:
+				for _, t := range a.completed {
+					done[t] = true
+					remaining--
+					e.sinceCkpt[a.proc] = append(e.sinceCkpt[a.proc], t)
+				}
+				e.report.MessagesSent += int64(a.sent)
+				if a.sent > stepMax {
+					stepMax = a.sent
+				}
+				if a.err != nil && (feasProc < 0 || a.proc < feasProc) {
+					feasErr, feasProc = a.err, a.proc
+				}
+				if a.stalled {
+					stalled = true
+					if stallTask < 0 || a.stallTask < stallTask {
+						stallTask, stallMiss = a.stallTask, a.stallMiss
+					}
+					if !e.inj.Explains(a.stallMiss, a.proc) {
+						unexplained = true
+					}
+				}
+			case <-ctx.Done():
+				teardown()
+				return remaining, endCompleted, ctx.Err()
+			}
+		}
+		e.report.CommRounds += int64(stepMax)
+		e.globalStep++
+		e.report.StepsExecuted++
+		if feasErr != nil {
+			teardown()
+			return remaining, endCompleted, feasErr
+		}
+		if stalled {
+			teardown()
+			if unexplained {
+				return remaining, endCompleted, fmt.Errorf(
+					"faults: task %d stalled on flux from task %d at step %d with no injected fault to blame: schedule is infeasible",
+					stallTask, stallMiss, g)
+			}
+			return remaining, endStall, nil
+		}
+	}
+	teardown()
+	return remaining, endCompleted, nil
+}
+
+// worker is one live processor for one epoch. Per step it drains its
+// inbox, runs the tasks scheduled at that step (reading checkpointed
+// upwind fluxes straight from psi and in-epoch cross fluxes from received
+// messages), and routes every cross-processor send through the injector.
+func (e *Engine) worker(p int32, byStep map[int32][]sched.TaskID, doneStart []bool,
+	inbox []chan Delivery, stepCh <-chan stepMsg, reports chan<- workerAck,
+	compute Compute, psi []float64) {
+
+	inst := e.inst
+	assign := e.assign
+	n := int32(inst.N())
+	recv := map[sched.TaskID]float64{}
+	localDone := map[sched.TaskID]bool{}
+	for sm := range stepCh {
+		for {
+			select {
+			case d := <-inbox[p]:
+				recv[d.Task] = d.Psi
+				continue
+			default:
+			}
+			break
+		}
+		a := workerAck{proc: p}
+		for _, t := range byStep[sm.local] {
+			v, i := inst.Split(t)
+			d := inst.DAGs[i]
+			base := sched.TaskID(int32(i) * n)
+			inflow := 0.0
+			preds := d.In(v)
+			ok := true
+			for _, u := range preds {
+				ut := base + sched.TaskID(u)
+				switch {
+				case doneStart[ut]:
+					inflow += psi[ut] // durable checkpoint, written in an earlier epoch
+				case assign[u] == p:
+					if !localDone[ut] {
+						a.err = fmt.Errorf("faults: proc %d task %d at step %d: local input %d not done", p, t, sm.global, ut)
+						ok = false
+					} else {
+						inflow += psi[ut]
+					}
+				default:
+					val, have := recv[ut]
+					if !have {
+						a.stalled, a.stallTask, a.stallMiss = true, t, ut
+						ok = false
+					} else {
+						inflow += val
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			if len(preds) > 0 {
+				inflow /= float64(len(preds))
+			}
+			val := compute(t, inflow)
+			psi[t] = val
+			localDone[t] = true
+			a.completed = append(a.completed, t)
+			for _, w := range d.Out(v) {
+				q := assign[w]
+				if q == p {
+					continue
+				}
+				a.sent++
+				for _, dl := range e.inj.OnSend(t, q, val, sm.global) {
+					inbox[dl.To] <- dl
+				}
+			}
+		}
+		reports <- a
+	}
+}
+
+// applyCrashes kills the given processors: their completions since the
+// last durable checkpoint are rolled back (replayed later), their cells
+// with outstanding work move to the least-loaded survivors, and the
+// recovery itself acts as a checkpoint for everyone else.
+func (e *Engine) applyCrashes(dying []int32, done []bool, remaining int) int {
+	for _, p := range dying {
+		e.inj.NoteCrash()
+		e.live[p] = false
+		e.nLive--
+		e.dead = append(e.dead, p)
+		for _, t := range e.sinceCkpt[p] {
+			if done[t] {
+				done[t] = false
+				remaining++
+				e.report.TasksReplayed++
+			}
+		}
+		e.sinceCkpt[p] = nil
+	}
+	for p := range e.sinceCkpt {
+		e.sinceCkpt[p] = e.sinceCkpt[p][:0]
+	}
+	e.lastCkpt = e.globalStep
+	if e.nLive > 0 {
+		e.reassignOrphans(done)
+		e.needRebuild = true
+	}
+	return remaining
+}
+
+// reassignOrphans moves every cell of a dead processor onto the live
+// processor with the least remaining load (ties to the smallest id) — a
+// deterministic greedy rebalance. Cells with no outstanding tasks move
+// too: a later sweep of the same engine (transport source iteration)
+// re-executes every cell, and a cell left on a dead processor would
+// silently never run.
+func (e *Engine) reassignOrphans(done []bool) {
+	inst := e.inst
+	n := inst.N()
+	k := inst.K()
+	remainPerCell := make([]int, n)
+	for i := 0; i < k; i++ {
+		base := i * n
+		for v := 0; v < n; v++ {
+			if !done[base+v] {
+				remainPerCell[v]++
+			}
+		}
+	}
+	load := make([]int, inst.M)
+	for v := 0; v < n; v++ {
+		if p := e.assign[v]; e.live[p] {
+			load[p] += remainPerCell[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		if e.live[e.assign[v]] {
+			continue
+		}
+		best := -1
+		for q := 0; q < inst.M; q++ {
+			if e.live[q] && (best < 0 || load[q] < load[best]) {
+				best = q
+			}
+		}
+		e.assign[v] = int32(best)
+		load[best] += remainPerCell[v]
+	}
+}

@@ -1,0 +1,76 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sweepsched/internal/core"
+	"sweepsched/internal/faults"
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/transport"
+)
+
+// FuzzFaultPlan drives the fault-tolerant transport solver with arbitrary
+// seed-derived fault plans over a small instance and checks the recovery
+// invariant: the solve either converges to flux bitwise-identical to the
+// fault-free serial solver, or fails with the typed UnrecoverableError
+// (every processor crashed). It must never deadlock (a watchdog context
+// turns a hang into a failure) and never return corrupt flux.
+func FuzzFaultPlan(f *testing.F) {
+	msh := mesh.KuhnBox(mesh.BoxSpec{NX: 3, NY: 3, NZ: 2, Jitter: 0.1, Seed: 5})
+	dirs, err := quadrature.Octant(4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	inst, err := sched.NewInstance(msh, dirs, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := core.RandomDelayPriorities(inst, rng.New(0x5eed))
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := transport.Config{SigmaT: 1, SigmaS: 0.5, Source: 1}
+	want, err := transport.Solve(s, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(uint64(1), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(0), uint8(3), uint8(2), uint8(1))
+	f.Add(uint64(3), uint8(4), uint8(0), uint8(0), uint8(0)) // all procs dead
+	f.Add(uint64(4), uint8(2), uint8(5), uint8(5), uint8(5))
+
+	f.Fuzz(func(t *testing.T, seed uint64, crashes, drops, delays, dups uint8) {
+		spec := faults.Spec{
+			Crashes:    int(crashes % 6),
+			Drops:      int(drops % 8),
+			Delays:     int(delays % 8),
+			Duplicates: int(dups % 8),
+		}
+		plan := faults.NewPlan(s, spec, seed)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		res, rep, err := transport.SolveFaultTolerant(ctx, s, cfg, plan)
+		if err != nil {
+			var ue *faults.UnrecoverableError
+			if errors.As(err, &ue) {
+				return // every processor crashed: the one legitimate failure
+			}
+			t.Fatalf("plan %s: %v (report %s)", plan, err, rep)
+		}
+		if !res.Converged {
+			t.Fatalf("plan %s: did not converge (report %s)", plan, rep)
+		}
+		for v := range want.Phi {
+			if res.Phi[v] != want.Phi[v] {
+				t.Fatalf("plan %s: flux differs at cell %d: %g != %g", plan, v, res.Phi[v], want.Phi[v])
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"sort"
+	"sync"
+
+	"sweepsched/internal/sched"
+)
+
+// Delivery is one flux message the interconnect should place in a
+// destination inbox.
+type Delivery struct {
+	To   int32
+	Task sched.TaskID
+	Psi  float64
+}
+
+type msgKey struct {
+	task sched.TaskID
+	to   int32
+}
+
+// Injector applies a Plan to the channel interconnect of an executor. The
+// executor routes every cross-processor send through OnSend (which may
+// suppress, hold or duplicate the delivery) and asks Matured at each
+// barrier for held messages that are now due. Worker goroutines call
+// OnSend concurrently; the decision for a message depends only on the plan
+// (keyed by task and destination), never on call order, so executions are
+// reproducible.
+type Injector struct {
+	mu         sync.Mutex
+	crashStep  map[int32]int32
+	msg        map[msgKey]Event
+	consumed   map[msgKey]Kind // message events already fired
+	delayed    map[int32][]Delivery
+	applied    map[Kind]int
+	plan       *Plan
+}
+
+// NewInjector indexes a plan for execution. A nil plan injects nothing.
+func NewInjector(plan *Plan) *Injector {
+	inj := &Injector{
+		crashStep: map[int32]int32{},
+		msg:       map[msgKey]Event{},
+		consumed:  map[msgKey]Kind{},
+		delayed:   map[int32][]Delivery{},
+		applied:   map[Kind]int{},
+		plan:      plan,
+	}
+	if plan != nil {
+		for _, e := range plan.Events {
+			switch e.Kind {
+			case Crash:
+				// Earliest crash wins if a proc appears twice.
+				if st, ok := inj.crashStep[e.Proc]; !ok || e.Step < st {
+					inj.crashStep[e.Proc] = e.Step
+				}
+			default:
+				inj.msg[msgKey{e.Task, e.To}] = e
+			}
+		}
+	}
+	return inj
+}
+
+// CrashStep returns the global barrier step at which the processor is
+// scheduled to die, or -1 if it never crashes.
+func (inj *Injector) CrashStep(p int32) int32 {
+	if st, ok := inj.crashStep[p]; ok {
+		return st
+	}
+	return -1
+}
+
+// NoteCrash records that a planned crash actually fired.
+func (inj *Injector) NoteCrash() {
+	inj.mu.Lock()
+	inj.applied[Crash]++
+	inj.mu.Unlock()
+}
+
+// OnSend applies the plan to one cross-processor flux message sent at the
+// given global barrier step, returning the deliveries to perform now. A
+// dropped or delayed message yields none (the delayed one surfaces later
+// through Matured); a duplicated one yields two. Each message event fires
+// once — on later sends of the same message (transport re-sweeps the
+// schedule every source iteration) delivery is normal.
+func (inj *Injector) OnSend(task sched.TaskID, to int32, psi float64, step int32) []Delivery {
+	normal := []Delivery{{To: to, Task: task, Psi: psi}}
+	if inj.plan == nil {
+		return normal
+	}
+	key := msgKey{task, to}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	e, ok := inj.msg[key]
+	if !ok {
+		return normal
+	}
+	delete(inj.msg, key)
+	inj.consumed[key] = e.Kind
+	inj.applied[e.Kind]++
+	switch e.Kind {
+	case Drop:
+		return nil
+	case Delay:
+		due := step + e.HoldSteps
+		inj.delayed[due] = append(inj.delayed[due], normal[0])
+		return nil
+	case Duplicate:
+		return []Delivery{normal[0], normal[0]}
+	}
+	return normal
+}
+
+// Matured removes and returns every held delivery due at or before the
+// given global step, in deterministic (task, to) order.
+func (inj *Injector) Matured(step int32) []Delivery {
+	inj.mu.Lock()
+	var due []Delivery
+	for st, ds := range inj.delayed {
+		if st <= step {
+			due = append(due, ds...)
+			delete(inj.delayed, st)
+		}
+	}
+	inj.mu.Unlock()
+	sort.Slice(due, func(a, b int) bool {
+		if due[a].Task != due[b].Task {
+			return due[a].Task < due[b].Task
+		}
+		return due[a].To < due[b].To
+	})
+	return due
+}
+
+// DiscardDelayed drops all held deliveries. Called on epoch teardown: the
+// producers of held fluxes have completed, so after recovery their values
+// are read from the durable checkpoint instead.
+func (inj *Injector) DiscardDelayed() {
+	inj.mu.Lock()
+	inj.delayed = map[int32][]Delivery{}
+	inj.mu.Unlock()
+}
+
+// Explains reports whether a missing flux for (task, to) is accounted for
+// by a fired drop or a still-held delay — i.e. whether a stall on it is an
+// injected fault rather than an infeasible schedule.
+func (inj *Injector) Explains(task sched.TaskID, to int32) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	k, ok := inj.consumed[msgKey{task, to}]
+	return ok && (k == Drop || k == Delay)
+}
+
+// Applied returns how many events of the kind have fired so far.
+func (inj *Injector) Applied(k Kind) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.applied[k]
+}

@@ -50,6 +50,18 @@ func Ratio(makespan int, inst *sched.Instance) float64 {
 	return float64(makespan) / (float64(inst.NTasks()) / float64(inst.M))
 }
 
+// ResidualLoad is the load lower bound on finishing `remaining` unit tasks
+// on m processors: ceil(remaining/m). Recovery rescheduling (internal/
+// faults) reports it next to each residual schedule's makespan, so the
+// overhead a recovery pays over the best any rescheduler could do is
+// visible directly.
+func ResidualLoad(remaining, m int) int {
+	if remaining <= 0 || m <= 0 {
+		return 0
+	}
+	return (remaining + m - 1) / m
+}
+
 // StrongRatio divides the makespan by the strongest known lower bound,
 // giving a tighter empirical approximation factor.
 func StrongRatio(makespan int, inst *sched.Instance) float64 {

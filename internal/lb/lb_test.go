@@ -68,3 +68,19 @@ func TestCeil(t *testing.T) {
 		}
 	}
 }
+
+func TestResidualLoad(t *testing.T) {
+	cases := []struct{ remaining, m, want int }{
+		{0, 4, 0},
+		{7, 0, 0},
+		{8, 4, 2},
+		{9, 4, 3},
+		{1, 4, 1},
+		{100, 1, 100},
+	}
+	for _, c := range cases {
+		if got := ResidualLoad(c.remaining, c.m); got != c.want {
+			t.Errorf("ResidualLoad(%d, %d) = %d, want %d", c.remaining, c.m, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package leakcheck asserts that a function under test does not leave
+// goroutines behind. The barrier-synchronous executors in this repository
+// promise to join every worker on every return path (success, infeasible
+// schedule, fault, cancellation); these assertions make that promise
+// testable.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check runs fn and then waits for the goroutine count to settle back to
+// its pre-call level, failing the test with a full stack dump if it does
+// not within two seconds. The settle loop tolerates goroutines that are
+// mid-exit when fn returns (a worker that has passed its final channel
+// receive but not yet been descheduled).
+func Check(t testing.TB, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

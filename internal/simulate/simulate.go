@@ -9,18 +9,26 @@
 // The simulator doubles as a cross-check of the analytic objective
 // functions: it recounts total messages (= C1) and per-step maximum
 // send-degrees (summing to C2) from the messages that actually flow.
+//
+// Run rejects infeasible schedules with a descriptive error; RunCtx adds
+// cooperative cancellation (the coordinator observes ctx between barrier
+// steps and tears every worker down before returning), and RunFaulty
+// executes under an injected fault plan with checkpointed recovery
+// rescheduling (see internal/faults).
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"sweepsched/internal/faults"
 	"sweepsched/internal/sched"
 )
 
 // Result summarizes an execution.
 type Result struct {
-	Steps         int   // barrier steps executed (== schedule makespan)
+	Steps         int   // barrier steps executed (== schedule makespan when fault-free)
 	TotalMessages int64 // messages sent across processors (== C1)
 	CommRounds    int64 // Σ_step max_p (messages sent by p at that step) == C2
 }
@@ -30,15 +38,23 @@ type message struct {
 }
 
 type stepReport struct {
-	proc     int
-	sent     []int32 // messages sent at this step, per destination tally collapsed: len = count
+	proc     int32
+	sent     int32 // cross-processor messages sent at this step
 	maxPeers int32
+	err      error // infeasibility detected at this step, nil if ok
 }
 
 // Run executes the schedule. It returns an error if any task would run
 // before one of its inputs is available — i.e., if the schedule is
 // infeasible under message passing.
 func Run(s *sched.Schedule) (*Result, error) {
+	return RunCtx(context.Background(), s)
+}
+
+// RunCtx is Run with cooperative cancellation: it returns ctx.Err() within
+// one barrier step of cancellation, after joining every worker goroutine
+// (no leaks, no blocked channel sends).
+func RunCtx(ctx context.Context, s *sched.Schedule) (*Result, error) {
 	inst := s.Inst
 	m := inst.M
 	nt := inst.NTasks()
@@ -80,57 +96,71 @@ func Run(s *sched.Schedule) (*Result, error) {
 		stepCh[p] = make(chan int32)
 	}
 	reports := make(chan stepReport, m)
-	errs := make(chan error, m)
 
 	var wg sync.WaitGroup
 	for p := 0; p < m; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			worker(inst, s, int32(p), perProcStep[p], inbox, stepCh[p], reports, errs)
+			worker(inst, s, int32(p), perProcStep[p], inbox, stepCh[p], reports)
 		}(p)
+	}
+	teardown := func() {
+		for p := 0; p < m; p++ {
+			close(stepCh[p])
+		}
+		wg.Wait()
 	}
 
 	res := &Result{Steps: steps}
-	var firstErr error
 	for st := int32(0); st < int32(steps); st++ {
 		for p := 0; p < m; p++ {
-			stepCh[p] <- st
+			select {
+			case stepCh[p] <- st:
+			case <-ctx.Done():
+				teardown()
+				return nil, ctx.Err()
+			}
 		}
+		// Collect every worker's report for the step before moving on —
+		// even after an error — so no worker is abandoned mid-send and the
+		// reported error is deterministic (lowest processor id wins).
 		var stepMax int32
+		var stepErr error
+		errProc := int32(-1)
 		for p := 0; p < m; p++ {
 			select {
 			case rep := <-reports:
-				res.TotalMessages += int64(len(rep.sent))
+				res.TotalMessages += int64(rep.sent)
 				if rep.maxPeers > stepMax {
 					stepMax = rep.maxPeers
 				}
-			case err := <-errs:
-				if firstErr == nil {
-					firstErr = err
+				if rep.err != nil && (errProc < 0 || rep.proc < errProc) {
+					stepErr, errProc = rep.err, rep.proc
 				}
-				goto done
+			case <-ctx.Done():
+				teardown()
+				return nil, ctx.Err()
 			}
+		}
+		if stepErr != nil {
+			teardown()
+			return nil, stepErr
 		}
 		res.CommRounds += int64(stepMax)
 	}
-done:
-	for p := 0; p < m; p++ {
-		close(stepCh[p])
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	teardown()
 	return res, nil
 }
 
 // worker is one simulated processor. Per step it drains its inbox, checks
 // every input of every task scheduled now, "executes" them, and sends
-// fluxes to downstream off-processor tasks.
+// fluxes to downstream off-processor tasks. It reports exactly once per
+// step — a detected infeasibility travels in the report, so the
+// coordinator always knows when a step's workers are fully drained.
 func worker(inst *sched.Instance, s *sched.Schedule, p int32,
 	byStep map[int32][]sched.TaskID, inbox []chan message,
-	stepCh <-chan int32, reports chan<- stepReport, errs chan<- error) {
+	stepCh <-chan int32, reports chan<- stepReport) {
 
 	n := int32(inst.N())
 	doneLocal := make(map[sched.TaskID]bool)
@@ -147,23 +177,29 @@ func worker(inst *sched.Instance, s *sched.Schedule, p int32,
 			}
 			break
 		}
-		var sent []int32
-		rep := stepReport{proc: int(p)}
+		rep := stepReport{proc: p}
 		for _, t := range byStep[st] {
 			v, i := inst.Split(t)
 			d := inst.DAGs[i]
 			base := sched.TaskID(i * n)
+			ok := true
 			for _, u := range d.In(v) {
 				ut := base + sched.TaskID(u)
 				if s.Assign[u] == p {
 					if !doneLocal[ut] {
-						errs <- fmt.Errorf("simulate: proc %d task %d at step %d: local input %d not done", p, t, st, ut)
-						return
+						rep.err = fmt.Errorf("simulate: proc %d task %d at step %d: local input %d not done", p, t, st, ut)
+						ok = false
 					}
 				} else if !received[ut] {
-					errs <- fmt.Errorf("simulate: proc %d task %d at step %d: flux from task %d not received", p, t, st, ut)
-					return
+					rep.err = fmt.Errorf("simulate: proc %d task %d at step %d: flux from task %d not received", p, t, st, ut)
+					ok = false
 				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				break
 			}
 			doneLocal[t] = true
 			for _, w := range d.Out(v) {
@@ -172,11 +208,35 @@ func worker(inst *sched.Instance, s *sched.Schedule, p int32,
 					continue
 				}
 				inbox[q] <- message{task: t}
-				sent = append(sent, q)
+				rep.sent++
 			}
 		}
-		rep.sent = sent
-		rep.maxPeers = int32(len(sent))
+		rep.maxPeers = rep.sent
 		reports <- rep
 	}
+}
+
+// RunFaulty executes the schedule under an injected fault plan with
+// checkpointed recovery (internal/faults): crashed processors' cells are
+// rescheduled onto survivors, dropped and delayed fluxes are reread from
+// the durable checkpoint after a recovery reschedule. The Result counts
+// what actually flowed (replays included), so with an empty plan it equals
+// Run's C1/C2 accounting exactly; the RecoveryReport is byte-for-byte
+// reproducible for a fixed plan.
+func RunFaulty(ctx context.Context, s *sched.Schedule, plan *faults.Plan) (*Result, *faults.RecoveryReport, error) {
+	eng, err := faults.NewEngine(s, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	psi := make([]float64, s.Inst.NTasks())
+	zero := func(sched.TaskID, float64) float64 { return 0 }
+	if err := eng.Sweep(ctx, zero, psi); err != nil {
+		return nil, eng.Report(), err
+	}
+	rep := eng.Report()
+	return &Result{
+		Steps:         rep.StepsExecuted,
+		TotalMessages: rep.MessagesSent,
+		CommRounds:    rep.CommRounds,
+	}, rep, nil
 }

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"context"
+
+	"sweepsched/internal/faults"
+	"sweepsched/internal/sched"
+)
+
+// SolveFaultTolerant runs the source iteration on the fault-injected
+// distributed executor (internal/faults): one goroutine per live
+// processor, the channel interconnect wrapped by the plan's injector, and
+// checkpointed recovery rescheduling on crashes and lost fluxes. Message
+// fault events fire on the first sweep that sends the affected flux;
+// crashes are permanent, so later iterations keep running on the recovered
+// schedule.
+//
+// Because recovery replays tasks with identical inputs and the per-task
+// cell-balance arithmetic is unchanged, the converged flux is
+// bitwise-identical to the serial Solve whenever recovery succeeds —
+// i.e. under any plan that leaves at least one processor alive. The
+// returned RecoveryReport is byte-for-byte reproducible for a fixed plan,
+// independent of GOMAXPROCS. On error (cancellation, unrecoverable loss of
+// every processor, infeasible schedule) the report still describes the
+// faults applied so far.
+func SolveFaultTolerant(ctx context.Context, s *sched.Schedule, cfg Config, plan *faults.Plan) (*Result, *faults.RecoveryReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	inst := s.Inst
+	if err := cfg.validateFor(inst); err != nil {
+		return nil, nil, err
+	}
+	eng, err := faults.NewEngine(s, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	phi := make([]float64, inst.N())
+	psi := make([]float64, inst.NTasks())
+	// Same cell-balance closure as sweepOnce, reading the previous
+	// iteration's scalar flux (updatePhi rewrites phi in place between
+	// sweeps, so the capture stays current).
+	compute := func(t sched.TaskID, inflow float64) float64 {
+		v, _ := inst.Split(t)
+		q := cfg.Source
+		if cfg.SourceField != nil {
+			q = cfg.SourceField[v]
+		}
+		q += cfg.SigmaS * phi[v]
+		return (q + inflow) / (1 + cfg.SigmaT)
+	}
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		if err := eng.Sweep(ctx, compute, psi); err != nil {
+			return nil, eng.Report(), err
+		}
+		res.Residual = updatePhi(inst, psi, phi, cfg)
+		res.Iterations = iter
+		if res.Residual < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Phi = phi
+	return res, eng.Report(), nil
+}

@@ -21,6 +21,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -70,6 +71,21 @@ func (c Config) withDefaults() (Config, error) {
 		}
 	}
 	return c, nil
+}
+
+// validateFor checks the instance-dependent slice lengths the Config doc
+// comment promises: Weights must match the direction count and SourceField
+// the cell count. Both are verified at every solver's entry (withDefaults
+// cannot — it has no instance), so a short slice yields a descriptive
+// error instead of an index panic inside updatePhi or sweepOnce.
+func (c Config) validateFor(inst *sched.Instance) error {
+	if c.Weights != nil && len(c.Weights) != inst.K() {
+		return fmt.Errorf("transport: %d angular weights for %d directions", len(c.Weights), inst.K())
+	}
+	if c.SourceField != nil && len(c.SourceField) != inst.N() {
+		return fmt.Errorf("transport: source field covers %d of %d cells", len(c.SourceField), inst.N())
+	}
+	return nil
 }
 
 // Result is a converged (or iteration-capped) solve.
@@ -168,17 +184,29 @@ func executionOrder(s *sched.Schedule) []sched.TaskID {
 // Solve runs source iteration serially, sweeping in the schedule's
 // execution order.
 func Solve(s *sched.Schedule, cfg Config) (*Result, error) {
+	return SolveCtx(context.Background(), s, cfg)
+}
+
+// SolveCtx is Solve with cooperative cancellation, checked once per source
+// iteration (one full sweep of every direction).
+func SolveCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	inst := s.Inst
+	if err := cfg.validateFor(inst); err != nil {
+		return nil, err
+	}
 	order := executionOrder(s)
 	phi := make([]float64, inst.N())
 	psi := make([]float64, inst.NTasks())
 	done := make([]bool, inst.NTasks())
 	res := &Result{}
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := sweepOnce(inst, order, phi, psi, done, cfg); err != nil {
 			return nil, err
 		}
@@ -206,11 +234,22 @@ type fluxMsg struct {
 // upwind flux is present when needed — the schedule guarantees the
 // ordering). The result is bitwise-identical to Solve.
 func SolveParallel(s *sched.Schedule, cfg Config) (*Result, error) {
+	return SolveParallelCtx(context.Background(), s, cfg)
+}
+
+// SolveParallelCtx is SolveParallel with cooperative cancellation: the
+// coordinator observes ctx at every barrier interaction, so cancellation
+// returns ctx.Err() within one barrier step, with every worker goroutine
+// joined and no blocked channel sends left behind.
+func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	inst := s.Inst
+	if err := cfg.validateFor(inst); err != nil {
+		return nil, err
+	}
 	m := inst.M
 	n := int32(inst.N())
 	nt := inst.NTasks()
@@ -243,7 +282,11 @@ func SolveParallel(s *sched.Schedule, cfg Config) (*Result, error) {
 		inbox[p] = make(chan fluxMsg, incoming[p]+1)
 		stepCh[p] = make(chan int32)
 	}
-	acks := make(chan error, m)
+	type procAck struct {
+		proc int32
+		err  error
+	}
+	acks := make(chan procAck, m)
 
 	phi := make([]float64, inst.N())
 	psi := make([]float64, nt) // shared: disjoint per-task writes, barrier-separated reads
@@ -260,7 +303,7 @@ func SolveParallel(s *sched.Schedule, cfg Config) (*Result, error) {
 					for k := range recvPsi {
 						delete(recvPsi, k)
 					}
-					acks <- nil
+					acks <- procAck{proc: p}
 					continue
 				}
 				for {
@@ -315,34 +358,45 @@ func SolveParallel(s *sched.Schedule, cfg Config) (*Result, error) {
 						}
 					}
 				}
-				acks <- stepErr
+				acks <- procAck{proc: p, err: stepErr}
 			}
 		}(int32(p))
 	}
 
 	res := &Result{}
-	runIteration := func() error {
-		// Reset barrier.
+	// barrier sends one control value to every worker and collects every
+	// ack — even after an error, so no worker is abandoned mid-step — and
+	// reports the lowest-processor error for determinism. Cancellation is
+	// observed at every channel interaction.
+	barrier := func(st int32) error {
 		for p := 0; p < m; p++ {
-			stepCh[p] <- -1
-		}
-		for p := 0; p < m; p++ {
-			if err := <-acks; err != nil {
-				return err
+			select {
+			case stepCh[p] <- st:
+			case <-ctx.Done():
+				return ctx.Err()
 			}
+		}
+		var firstErr error
+		errProc := int32(-1)
+		for p := 0; p < m; p++ {
+			select {
+			case a := <-acks:
+				if a.err != nil && (errProc < 0 || a.proc < errProc) {
+					firstErr, errProc = a.err, a.proc
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return firstErr
+	}
+	runIteration := func() error {
+		if err := barrier(-1); err != nil { // reset received fluxes
+			return err
 		}
 		for st := int32(0); st < int32(s.Makespan); st++ {
-			for p := 0; p < m; p++ {
-				stepCh[p] <- st
-			}
-			var firstErr error
-			for p := 0; p < m; p++ {
-				if err := <-acks; err != nil && firstErr == nil {
-					firstErr = err
-				}
-			}
-			if firstErr != nil {
-				return firstErr
+			if err := barrier(st); err != nil {
+				return err
 			}
 		}
 		return nil
