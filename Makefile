@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience fuzz bench bench-record
+.PHONY: check ci race resilience fuzz bench bench-record benchstat bench-smoke
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -25,12 +25,28 @@ fuzz:
 ci:
 	./ci.sh
 
-# The workers-sweep benchmarks of the parallel per-direction pipeline.
+# The workers-sweep benchmarks of the parallel per-direction pipeline plus
+# the old-vs-new scheduling-kernel comparison (ref = container/heap + map
+# calendar, workspace = typed 4-ary heap + calendar ring).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuildAll/' ./internal/dag
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule/' .
+	$(GO) test -run '^$$' -bench 'Benchmark(ScheduleKernel|CommKernel)/' -benchmem ./internal/sched
 
-# Reproduce the numbers recorded in BENCH_PR1.json.
+# Reproduce the numbers recorded in BENCH_PR1.json and BENCH_PR3.json.
 bench-record:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuildAll/' -count 5 ./internal/dag
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule/' -count 5 .
+	$(GO) test -run '^$$' -bench 'Benchmark(ScheduleKernel|CommKernel)/' -benchmem -count 5 ./internal/sched
+
+# One iteration of every benchmark in the repo — a compile-and-run smoke
+# pass (also part of ci.sh), not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Compare two bench-record outputs with benchstat, if it is installed
+# (this repo does not install tools; see BENCH_PR3.json for recorded
+# numbers). Usage: make benchstat OLD=old.txt NEW=new.txt
+benchstat:
+	@command -v benchstat >/dev/null 2>&1 || { echo "benchstat not installed; compare $(OLD) and $(NEW) by hand or see BENCH_PR3.json"; exit 1; }
+	benchstat $(OLD) $(NEW)

@@ -251,8 +251,12 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 	if err != nil {
 		return nil, err
 	}
-	s, err := sched.ListScheduleComm(p.inst, assign, prio, commDelay)
-	if err != nil {
+	// The kernel's transient state comes from the shape-keyed pool; only
+	// the returned schedule (which escapes into the Result) is allocated.
+	ws := sched.GetWorkspace(p.inst)
+	defer ws.Release()
+	s := &sched.Schedule{}
+	if err := sched.CommScheduleInto(ws, s, p.inst, assign, prio, commDelay); err != nil {
 		return nil, err
 	}
 	if err := s.Validate(); err != nil {

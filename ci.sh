@@ -26,6 +26,12 @@ echo "== resilience: executors under -race with a hard timeout =="
 # deadlocked coordinator or leaked worker turns into a test failure here.
 go test -race -timeout 120s ./internal/faults ./internal/simulate ./internal/transport
 
+echo "== benchmark smoke (1 iteration each) =="
+# Compile-and-run pass over every benchmark: catches bit-rot in the
+# kernel benchmarks (and their zero-alloc assertions use the same paths)
+# without turning CI into a measurement job.
+go test -run '^$' -bench . -benchtime 1x ./...
+
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run '^$' -fuzz '^FuzzFromEdges$' -fuzztime "$FUZZTIME" ./internal/dag
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/mesh

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -25,14 +27,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id, or 'all'")
-		scale   = flag.Float64("scale", 0.05, "mesh scale relative to paper cell counts (1.0 = paper size)")
-		seed    = flag.Uint64("seed", 1, "master random seed")
-		trials  = flag.Int("trials", 3, "trials per randomized configuration")
-		procs   = flag.String("procs", "2,8,32,128,512", "comma-separated processor counts")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		csv     = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
-		workers = flag.Int("workers", 0, "goroutines for experiment rows and per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
+		exp        = flag.String("exp", "all", "experiment id, or 'all'")
+		scale      = flag.Float64("scale", 0.05, "mesh scale relative to paper cell counts (1.0 = paper size)")
+		seed       = flag.Uint64("seed", 1, "master random seed")
+		trials     = flag.Int("trials", 3, "trials per randomized configuration")
+		procs      = flag.String("procs", "2,8,32,128,512", "comma-separated processor counts")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csv        = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		workers    = flag.Int("workers", 0, "goroutines for experiment rows and per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -41,6 +45,31 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	procList, err := parseProcs(*procs)

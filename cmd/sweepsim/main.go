@@ -20,35 +20,64 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sweepsched"
 )
 
 func main() {
 	var (
-		meshName  = flag.String("mesh", "tetonly", "mesh family")
-		meshFile  = flag.String("meshfile", "", "load a sweepmesh file instead of generating -mesh")
-		scale     = flag.Float64("scale", 0.05, "mesh scale relative to paper size")
-		k         = flag.Int("k", 24, "number of sweep directions")
-		m         = flag.Int("m", 64, "number of processors")
-		alg       = flag.String("alg", string(sweepsched.RandomDelaysPriority), "scheduler name")
-		block     = flag.Int("block", 1, "block size (1 = per-cell random assignment)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		sim       = flag.Bool("simulate", false, "replay on the message-passing simulator")
-		gantt     = flag.Bool("gantt", false, "print a text Gantt chart of the schedule")
-		commC     = flag.Int("c", 0, "uniform communication delay (steps per cross-processor edge)")
-		saveTrace = flag.String("savetrace", "", "write the schedule trace to this path (view with sweepview)")
-		weighted  = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
-		workers   = flag.Int("workers", 0, "goroutines for per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
-		doFaults  = flag.Bool("faults", false, "execute under an injected fault plan with checkpointed recovery")
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault plan (independent of -seed)")
-		nCrash    = flag.Int("crash", 1, "processor crashes to inject (with -faults)")
-		nDrop     = flag.Int("drop", 0, "message drops to inject (with -faults)")
-		nDelay    = flag.Int("delay", 0, "message delays to inject (with -faults)")
-		nDup      = flag.Int("dup", 0, "message duplications to inject (with -faults)")
-		timeout   = flag.Duration("timeout", 0, "overall deadline for fault-injected runs (0 = none)")
+		meshName   = flag.String("mesh", "tetonly", "mesh family")
+		meshFile   = flag.String("meshfile", "", "load a sweepmesh file instead of generating -mesh")
+		scale      = flag.Float64("scale", 0.05, "mesh scale relative to paper size")
+		k          = flag.Int("k", 24, "number of sweep directions")
+		m          = flag.Int("m", 64, "number of processors")
+		alg        = flag.String("alg", string(sweepsched.RandomDelaysPriority), "scheduler name")
+		block      = flag.Int("block", 1, "block size (1 = per-cell random assignment)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		sim        = flag.Bool("simulate", false, "replay on the message-passing simulator")
+		gantt      = flag.Bool("gantt", false, "print a text Gantt chart of the schedule")
+		commC      = flag.Int("c", 0, "uniform communication delay (steps per cross-processor edge)")
+		saveTrace  = flag.String("savetrace", "", "write the schedule trace to this path (view with sweepview)")
+		weighted   = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
+		workers    = flag.Int("workers", 0, "goroutines for per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
+		doFaults   = flag.Bool("faults", false, "execute under an injected fault plan with checkpointed recovery")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the fault plan (independent of -seed)")
+		nCrash     = flag.Int("crash", 1, "processor crashes to inject (with -faults)")
+		nDrop      = flag.Int("drop", 0, "message drops to inject (with -faults)")
+		nDelay     = flag.Int("delay", 0, "message delays to inject (with -faults)")
+		nDup       = flag.Int("dup", 0, "message duplications to inject (with -faults)")
+		timeout    = flag.Duration("timeout", 0, "overall deadline for fault-injected runs (0 = none)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var (
 		p   *sweepsched.Problem

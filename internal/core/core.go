@@ -32,11 +32,19 @@ import (
 // them. The parent advances by one draw so successive calls differ.
 func Delays(k int, r *rng.Source) []int32 {
 	x := make([]int32, k)
-	for i := range x {
-		x[i] = int32(r.Substream(uint64(i)).Intn(k))
+	delaysWith(k, r, func(i int, xi int32) { x[i] = xi })
+	return x
+}
+
+// delaysWith streams the Delays draws to fn(i, X_i) without materializing
+// the slice — the zero-allocation form the Into trial loops use. The draw
+// sequence is identical to Delays (per-direction substreams, one parent
+// advance at the end).
+func delaysWith(k int, r *rng.Source, fn func(i int, x int32)) {
+	for i := 0; i < k; i++ {
+		fn(i, int32(r.Substream(uint64(i)).Intn(k)))
 	}
 	r.Uint64()
-	return x
 }
 
 // combinedLayers returns the Algorithm 1 layer function on tasks:
@@ -78,12 +86,30 @@ func RandomDelayPriorities(inst *sched.Instance, r *rng.Source) (*sched.Schedule
 // assignment: Γ(v,i) = level_i(v) + X_i, smallest-Γ-first list scheduling
 // with no idling.
 func RandomDelayPrioritiesWithAssignment(inst *sched.Instance, assign sched.Assignment, r *rng.Source) (*sched.Schedule, error) {
-	layer := combinedLayers(inst, Delays(inst.K(), r))
-	prio := make(sched.Priorities, len(layer))
-	for t, l := range layer {
-		prio[t] = int64(l)
+	ws := sched.GetWorkspace(inst)
+	defer ws.Release()
+	dst := &sched.Schedule{}
+	if err := RandomDelayPrioritiesInto(ws, dst, inst, assign, r); err != nil {
+		return nil, err
 	}
-	return sched.ListSchedule(inst, assign, prio)
+	return dst, nil
+}
+
+// RandomDelayPrioritiesInto is the trial-loop form of Algorithm 2: the
+// priorities Γ(v,i) = level_i(v) + X_i are built in the workspace's
+// priority scratch and the schedule lands in dst. On a warm workspace it
+// allocates nothing.
+func RandomDelayPrioritiesInto(ws *sched.Workspace, dst *sched.Schedule, inst *sched.Instance, assign sched.Assignment, r *rng.Source) error {
+	n := int32(inst.N())
+	prio := ws.PrioBuf(inst.NTasks())
+	delaysWith(inst.K(), r, func(i int, x int32) {
+		d := inst.DAGs[i]
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = int64(d.Level[v] + x)
+		}
+	})
+	return sched.ListScheduleInto(ws, dst, inst, assign, prio, nil)
 }
 
 // ImprovedRandomDelay runs Algorithm 3 with a uniformly random cell
@@ -129,18 +155,32 @@ func ImprovedRandomDelayPriorities(inst *sched.Instance, r *rng.Source) (*sched.
 // ImprovedRandomDelayPrioritiesWithAssignment is the assignment-taking
 // variant of ImprovedRandomDelayPriorities.
 func ImprovedRandomDelayPrioritiesWithAssignment(inst *sched.Instance, assign sched.Assignment, r *rng.Source) (*sched.Schedule, error) {
-	level, _, err := sched.GreedySchedule(inst, nil)
-	if err != nil {
+	ws := sched.GetWorkspace(inst)
+	defer ws.Release()
+	dst := &sched.Schedule{}
+	if err := ImprovedRandomDelayPrioritiesInto(ws, dst, inst, assign, r); err != nil {
 		return nil, err
 	}
-	delays := Delays(inst.K(), r)
+	return dst, nil
+}
+
+// ImprovedRandomDelayPrioritiesInto is the trial-loop form of the
+// priority-compacted Algorithm 3: the Graham preprocessing levels go into
+// the workspace's int32 scratch, the delayed priorities into its priority
+// scratch, and the schedule into dst. On a warm workspace it allocates
+// nothing.
+func ImprovedRandomDelayPrioritiesInto(ws *sched.Workspace, dst *sched.Schedule, inst *sched.Instance, assign sched.Assignment, r *rng.Source) error {
+	level := ws.Int32Buf(inst.NTasks())
+	if _, err := sched.GreedyScheduleInto(ws, level, inst, nil); err != nil {
+		return err
+	}
 	n := int32(inst.N())
-	prio := make(sched.Priorities, inst.NTasks())
-	for i := range inst.DAGs {
+	prio := ws.PrioBuf(inst.NTasks())
+	delaysWith(inst.K(), r, func(i int, x int32) {
 		base := int32(i) * n
 		for v := int32(0); v < n; v++ {
-			prio[base+v] = int64(level[base+v] + delays[i])
+			prio[base+v] = int64(level[base+v] + x)
 		}
-	}
-	return sched.ListSchedule(inst, assign, prio)
+	})
+	return sched.ListScheduleInto(ws, dst, inst, assign, prio, nil)
 }

@@ -40,19 +40,29 @@ func AblateDelayRange(cfg Config) error {
 		if err != nil {
 			return err
 		}
+		// One workspace per processor count, reused across the R × trials
+		// grid; priorities are built in its scratch buffer.
+		ws := sched.GetWorkspace(inst)
+		dst := &sched.Schedule{}
 		row := []interface{}{m}
 		for ri, R := range ranges {
 			R := R
 			_, ratio, err := meanMakespanRatio(cfg, inst, 0xab0+uint64(ri), func(r *rng.Source) (*sched.Schedule, error) {
 				assign := sched.RandomAssignment(inst.N(), m, r)
-				prio := delayedLevelPriorities(inst, R, r)
-				return sched.ListSchedule(inst, assign, prio)
+				prio := ws.PrioBuf(inst.NTasks())
+				delayedLevelPrioritiesInto(prio, inst, R, r)
+				if err := sched.ListScheduleInto(ws, dst, inst, assign, prio, nil); err != nil {
+					return nil, err
+				}
+				return dst, nil
 			})
 			if err != nil {
+				ws.Release()
 				return err
 			}
 			row = append(row, ratio)
 		}
+		ws.Release()
 		tbl.AddRow(row...)
 	}
 	return cfg.render(tbl)
@@ -61,22 +71,25 @@ func AblateDelayRange(cfg Config) error {
 // delayedLevelPriorities builds Γ(v,i) = level_i(v) + X_i with X_i drawn
 // uniformly from {0..delayRange-1}.
 func delayedLevelPriorities(inst *sched.Instance, delayRange int, r *rng.Source) sched.Priorities {
+	prio := make(sched.Priorities, inst.NTasks())
+	delayedLevelPrioritiesInto(prio, inst, delayRange, r)
+	return prio
+}
+
+// delayedLevelPrioritiesInto fills a caller-provided priority slice; trial
+// loops pass the workspace's PrioBuf.
+func delayedLevelPrioritiesInto(prio sched.Priorities, inst *sched.Instance, delayRange int, r *rng.Source) {
 	if delayRange < 1 {
 		delayRange = 1
 	}
-	delays := make([]int64, inst.K())
-	for i := range delays {
-		delays[i] = int64(r.Intn(delayRange))
-	}
 	n := int32(inst.N())
-	prio := make(sched.Priorities, inst.NTasks())
 	for i, d := range inst.DAGs {
+		delay := int64(r.Intn(delayRange))
 		base := int32(i) * n
 		for v := int32(0); v < n; v++ {
-			prio[base+v] = int64(d.Level[v]) + delays[i]
+			prio[base+v] = int64(d.Level[v]) + delay
 		}
 	}
-	return prio
 }
 
 // AblateAssignment compares cell-to-processor assignment policies under
@@ -180,8 +193,16 @@ func AblateAssignment(cfg Config) error {
 	return cfg.render(tbl)
 }
 
-// runAlg2With runs Algorithm 2 with a fixed assignment.
+// runAlg2With runs Algorithm 2 with a fixed assignment, drawing its
+// priority scratch and kernel state from the shape-keyed workspace pool.
 func runAlg2With(inst *sched.Instance, assign sched.Assignment, r *rng.Source) (*sched.Schedule, error) {
-	prio := delayedLevelPriorities(inst, inst.K(), r)
-	return sched.ListSchedule(inst, assign, prio)
+	ws := sched.GetWorkspace(inst)
+	defer ws.Release()
+	prio := ws.PrioBuf(inst.NTasks())
+	delayedLevelPrioritiesInto(prio, inst, inst.K(), r)
+	dst := &sched.Schedule{}
+	if err := sched.ListScheduleInto(ws, dst, inst, assign, prio, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }

@@ -48,6 +48,11 @@ func CommDelay(cfg Config) error {
 		w.MeshName, w.Mesh.NCells(), m, bs)
 	tbl := stats.NewTable("c", "ms_cell", "ms_block", "block/cell")
 	prio := heuristics.LevelPriorities(inst, cfg.Workers)
+	// One workspace and destination serve the whole c × trials sweep; only
+	// the first CommScheduleInto call pays for the scratch arena.
+	ws := sched.GetWorkspace(inst)
+	defer ws.Release()
+	dst := &sched.Schedule{}
 	for _, c := range []int{0, 2, 8, 32, 128} {
 		var sumCell, sumBlock float64
 		for trial := 0; trial < cfg.Trials; trial++ {
@@ -60,16 +65,14 @@ func CommDelay(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			sc, err := sched.ListScheduleComm(inst, cellAssign, prio, c)
-			if err != nil {
+			if err := sched.CommScheduleInto(ws, dst, inst, cellAssign, prio, c); err != nil {
 				return err
 			}
-			sb, err := sched.ListScheduleComm(inst, blockAssign, prio, c)
-			if err != nil {
+			sumCell += float64(dst.Makespan)
+			if err := sched.CommScheduleInto(ws, dst, inst, blockAssign, prio, c); err != nil {
 				return err
 			}
-			sumCell += float64(sc.Makespan)
-			sumBlock += float64(sb.Makespan)
+			sumBlock += float64(dst.Makespan)
 		}
 		n := float64(cfg.Trials)
 		tbl.AddRow(c, sumCell/n, sumBlock/n, (sumBlock/n)/(sumCell/n))

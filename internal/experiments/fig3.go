@@ -36,6 +36,11 @@ func runHeuristicRatios(cfg Config, meshName string, blockSize int, ks []int, na
 			if err != nil {
 				return nil, err
 			}
+			// Each parallel row holds its own workspace and destination,
+			// reused across every (scheduler, trial) in the row.
+			ws := sched.GetWorkspace(inst)
+			defer ws.Release()
+			dst := &sched.Schedule{}
 			row := []interface{}{k, m}
 			for ni, name := range names {
 				name := name
@@ -44,7 +49,10 @@ func runHeuristicRatios(cfg Config, meshName string, blockSize int, ks []int, na
 					if err != nil {
 						return nil, err
 					}
-					return heuristics.Run(name, inst, assign, r, 1)
+					if err := heuristics.RunInto(ws, dst, name, inst, assign, r, 1); err != nil {
+						return nil, err
+					}
+					return dst, nil
 				})
 				if err != nil {
 					return nil, err

@@ -83,6 +83,15 @@ type Engine struct {
 	globalStep  int32
 	needRebuild bool
 	report      RecoveryReport
+
+	// ws and the two destination schedules make repeated residual
+	// rescheduling allocation-free: full backs e.cur across sweeps after a
+	// post-crash rebuild, resid is the scratch for mid-sweep recoveries
+	// (transient: the epoch loop drops any reference to it before the next
+	// recovery overwrites it).
+	ws    *sched.Workspace
+	full  sched.Schedule
+	resid sched.Schedule
 }
 
 // NewEngine prepares a fault-injected executor for the schedule. plan may
@@ -106,6 +115,7 @@ func NewEngine(s *sched.Schedule, plan *Plan) (*Engine, error) {
 		nLive:     inst.M,
 		sinceCkpt: make([][]sched.TaskID, inst.M),
 		ckptEvery: Spec{}.withDefaults().CheckpointEvery,
+		ws:        sched.NewWorkspace(),
 	}
 	for p := range e.live {
 		e.live[p] = true
@@ -153,11 +163,10 @@ func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) erro
 		return err
 	}
 	if e.needRebuild {
-		full, err := sched.ListScheduleResidual(e.inst, e.assign, e.prio, nil)
-		if err != nil {
+		if err := sched.ListScheduleResidualInto(e.ws, &e.full, e.inst, e.assign, e.prio, nil); err != nil {
 			return err
 		}
-		e.cur = full
+		e.cur = &e.full
 		e.needRebuild = false
 	}
 	e.report.StepsFaultFree += e.orig.Makespan
@@ -187,10 +196,10 @@ func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) erro
 			}
 			e.report.Recoveries++
 			e.report.LastResidualBound = lb.ResidualLoad(remaining, e.nLive)
-			cur, err = sched.ListScheduleResidual(e.inst, e.assign, e.prio, done)
-			if err != nil {
+			if err := sched.ListScheduleResidualInto(e.ws, &e.resid, e.inst, e.assign, e.prio, done); err != nil {
 				return err
 			}
+			cur = &e.resid
 		}
 	}
 	return nil

@@ -28,13 +28,13 @@ type msgKey struct {
 // (keyed by task and destination), never on call order, so executions are
 // reproducible.
 type Injector struct {
-	mu         sync.Mutex
-	crashStep  map[int32]int32
-	msg        map[msgKey]Event
-	consumed   map[msgKey]Kind // message events already fired
-	delayed    map[int32][]Delivery
-	applied    map[Kind]int
-	plan       *Plan
+	mu        sync.Mutex
+	crashStep map[int32]int32
+	msg       map[msgKey]Event
+	consumed  map[msgKey]Kind // message events already fired
+	delayed   map[int32][]Delivery
+	applied   map[Kind]int
+	plan      *Plan
 }
 
 // NewInjector indexes a plan for execution. A nil plan injects nothing.

@@ -30,8 +30,16 @@ import (
 // Directions are processed on up to workers goroutines (<= 0 selects
 // GOMAXPROCS); the result is identical for every worker count.
 func LevelPriorities(inst *sched.Instance, workers int) sched.Priorities {
-	n := int32(inst.N())
 	prio := make(sched.Priorities, inst.NTasks())
+	LevelPrioritiesInto(prio, inst, workers)
+	return prio
+}
+
+// LevelPrioritiesInto fills a caller-provided priority slice (len =
+// NTasks) instead of allocating one; trial loops pass the workspace's
+// PrioBuf.
+func LevelPrioritiesInto(prio sched.Priorities, inst *sched.Instance, workers int) {
+	n := int32(inst.N())
 	_ = par.ForEach(inst.K(), workers, func(i int) error {
 		d := inst.DAGs[i]
 		base := int32(i) * n
@@ -40,7 +48,6 @@ func LevelPriorities(inst *sched.Instance, workers int) sched.Priorities {
 		}
 		return nil
 	})
-	return prio
 }
 
 // ExactDescendantThreshold is the cell count up to which descendant
@@ -55,8 +62,16 @@ const ExactDescendantThreshold = 20000
 // counts — the most expensive priority computation in the lineup — run on
 // up to workers goroutines (<= 0 selects GOMAXPROCS).
 func DescendantPriorities(inst *sched.Instance, workers int) sched.Priorities {
-	n := int32(inst.N())
 	prio := make(sched.Priorities, inst.NTasks())
+	DescendantPrioritiesInto(prio, inst, workers)
+	return prio
+}
+
+// DescendantPrioritiesInto fills a caller-provided priority slice (len =
+// NTasks) instead of allocating one. Per-direction descendant scratch is
+// still allocated inside the parallel region (it is per-goroutine).
+func DescendantPrioritiesInto(prio sched.Priorities, inst *sched.Instance, workers int) {
+	n := int32(inst.N())
 	exact := inst.N() <= ExactDescendantThreshold
 	_ = par.ForEach(inst.K(), workers, func(i int) error {
 		d := inst.DAGs[i]
@@ -74,7 +89,6 @@ func DescendantPriorities(inst *sched.Instance, workers int) sched.Priorities {
 		}
 		return nil
 	})
-	return prio
 }
 
 // DFDSPriorities returns Pautz's Depth-First Descendant-Seeking priorities
@@ -91,8 +105,16 @@ func DescendantPriorities(inst *sched.Instance, workers int) sched.Priorities {
 // smallest-first list scheduler. Directions are independent (each works on
 // its own scratch and slice segment) and run on up to workers goroutines.
 func DFDSPriorities(inst *sched.Instance, assign sched.Assignment, workers int) sched.Priorities {
-	n := int32(inst.N())
 	prio := make(sched.Priorities, inst.NTasks())
+	DFDSPrioritiesInto(prio, inst, assign, workers)
+	return prio
+}
+
+// DFDSPrioritiesInto fills a caller-provided priority slice (len =
+// NTasks) instead of allocating one. Per-direction b-level and raw
+// scratch is still allocated inside the parallel region (per-goroutine).
+func DFDSPrioritiesInto(prio sched.Priorities, inst *sched.Instance, assign sched.Assignment, workers int) {
+	n := int32(inst.N())
 	_ = par.ForEach(inst.K(), workers, func(i int) error {
 		d := inst.DAGs[i]
 		base := int32(i) * n
@@ -137,16 +159,22 @@ func DFDSPriorities(inst *sched.Instance, assign sched.Assignment, workers int) 
 		}
 		return nil
 	})
-	return prio
 }
 
 // delayReleases converts per-direction random delays into task release
 // times. The delays are drawn (from per-direction substreams of r) before
 // the fan-out; the fill is a pure per-direction copy.
 func delayReleases(inst *sched.Instance, r *rng.Source, workers int) []int32 {
+	rel := make([]int32, inst.NTasks())
+	delayReleasesInto(rel, inst, r, workers)
+	return rel
+}
+
+// delayReleasesInto fills a caller-provided release slice (len = NTasks);
+// only the k-length delay vector itself is allocated per call.
+func delayReleasesInto(rel []int32, inst *sched.Instance, r *rng.Source, workers int) {
 	delays := core.Delays(inst.K(), r)
 	n := int32(inst.N())
-	rel := make([]int32, inst.NTasks())
 	_ = par.ForEach(inst.K(), workers, func(i int) error {
 		base := int32(i) * n
 		for v := int32(0); v < n; v++ {
@@ -154,7 +182,6 @@ func delayReleases(inst *sched.Instance, r *rng.Source, workers int) []int32 {
 		}
 		return nil
 	})
-	return rel
 }
 
 // Name identifies a heuristic scheduler in experiment tables.
@@ -191,27 +218,68 @@ func AllNames() []Name {
 // identical across them (as in §5.2, which compares makespans only for
 // that reason).
 func Run(name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source, workers int) (*sched.Schedule, error) {
+	ws := sched.GetWorkspace(inst)
+	defer ws.Release()
+	dst := &sched.Schedule{}
+	if err := RunInto(ws, dst, name, inst, assign, r, workers); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// RunInto is the trial-loop form of Run: priorities and release times are
+// built in the workspace's scratch buffers and the schedule lands in dst,
+// so repeated runs on one instance shape allocate only per-goroutine
+// heuristic scratch (descendant sets, b-levels) and nothing in the
+// scheduling kernel. The layer-synchronous algorithms (RandomDelays,
+// ImprovedDelays) still build their schedule afresh and copy the header
+// into dst.
+func RunInto(ws *sched.Workspace, dst *sched.Schedule, name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source, workers int) error {
+	nt := inst.NTasks()
 	switch name {
 	case RandomDelays:
-		return core.RandomDelayWithAssignment(inst, assign, r)
+		s, err := core.RandomDelayWithAssignment(inst, assign, r)
+		if err != nil {
+			return err
+		}
+		*dst = *s
+		return nil
 	case RandomDelaysPriority:
-		return core.RandomDelayPrioritiesWithAssignment(inst, assign, r)
+		return core.RandomDelayPrioritiesInto(ws, dst, inst, assign, r)
 	case ImprovedDelays:
-		return core.ImprovedRandomDelayPrioritiesWithAssignment(inst, assign, r)
+		return core.ImprovedRandomDelayPrioritiesInto(ws, dst, inst, assign, r)
 	case Level:
-		return sched.ListSchedule(inst, assign, LevelPriorities(inst, workers))
+		prio := ws.PrioBuf(nt)
+		LevelPrioritiesInto(prio, inst, workers)
+		return sched.ListScheduleInto(ws, dst, inst, assign, prio, nil)
 	case LevelDelays:
-		return sched.ListScheduleWithRelease(inst, assign, LevelPriorities(inst, workers), delayReleases(inst, r, workers))
+		prio := ws.PrioBuf(nt)
+		LevelPrioritiesInto(prio, inst, workers)
+		rel := ws.Int32Buf(nt)
+		delayReleasesInto(rel, inst, r, workers)
+		return sched.ListScheduleInto(ws, dst, inst, assign, prio, rel)
 	case Descendant:
-		return sched.ListSchedule(inst, assign, DescendantPriorities(inst, workers))
+		prio := ws.PrioBuf(nt)
+		DescendantPrioritiesInto(prio, inst, workers)
+		return sched.ListScheduleInto(ws, dst, inst, assign, prio, nil)
 	case DescendantDelays:
-		return sched.ListScheduleWithRelease(inst, assign, DescendantPriorities(inst, workers), delayReleases(inst, r, workers))
+		prio := ws.PrioBuf(nt)
+		DescendantPrioritiesInto(prio, inst, workers)
+		rel := ws.Int32Buf(nt)
+		delayReleasesInto(rel, inst, r, workers)
+		return sched.ListScheduleInto(ws, dst, inst, assign, prio, rel)
 	case DFDS:
-		return sched.ListSchedule(inst, assign, DFDSPriorities(inst, assign, workers))
+		prio := ws.PrioBuf(nt)
+		DFDSPrioritiesInto(prio, inst, assign, workers)
+		return sched.ListScheduleInto(ws, dst, inst, assign, prio, nil)
 	case DFDSDelays:
-		return sched.ListScheduleWithRelease(inst, assign, DFDSPriorities(inst, assign, workers), delayReleases(inst, r, workers))
+		prio := ws.PrioBuf(nt)
+		DFDSPrioritiesInto(prio, inst, assign, workers)
+		rel := ws.Int32Buf(nt)
+		delayReleasesInto(rel, inst, r, workers)
+		return sched.ListScheduleInto(ws, dst, inst, assign, prio, rel)
 	}
-	return nil, errUnknown(name)
+	return errUnknown(name)
 }
 
 type errUnknown Name

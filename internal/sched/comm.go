@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -11,114 +10,28 @@ import (
 // task becomes available only c steps after that predecessor completes.
 // §5.1 sketches trading processing time against communication through block
 // partitioning; ListScheduleComm makes that trade-off measurable.
+//
+// The stepping engine lives in CommScheduleInto (workspace.go); the
+// release bookkeeping it shares with the plain list scheduler is the
+// calendar queue in queue.go, which replaced the map-based "future"
+// calendars the two files used to duplicate.
 
 // ListScheduleComm runs priority list scheduling under the uniform
 // communication-delay model: an edge ((u,i),(v,i)) whose endpoints are on
 // different processors delays (v,i)'s availability by commDelay extra
 // steps. commDelay = 0 reduces to ListSchedule.
+//
+// ListScheduleComm is a convenience wrapper over CommScheduleInto with a
+// pooled workspace; trial loops that schedule the same instance shape
+// repeatedly should hold a Workspace and call the Into form directly.
 func ListScheduleComm(inst *Instance, assign Assignment, prio Priorities, commDelay int) (*Schedule, error) {
-	if commDelay < 0 {
-		return nil, fmt.Errorf("sched: negative communication delay %d", commDelay)
-	}
-	if err := assign.Validate(inst.N(), inst.M); err != nil {
+	ws := GetWorkspace(inst)
+	defer ws.Release()
+	dst := &Schedule{}
+	if err := CommScheduleInto(ws, dst, inst, assign, prio, commDelay); err != nil {
 		return nil, err
 	}
-	nt := inst.NTasks()
-	if prio == nil {
-		prio = make(Priorities, nt)
-	}
-	if len(prio) != nt {
-		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
-	}
-
-	n := int32(inst.N())
-	indeg := make([]int32, nt)
-	readyAt := make([]int32, nt) // earliest permitted start
-	for i, d := range inst.DAGs {
-		base := int32(i) * n
-		for v := int32(0); v < n; v++ {
-			indeg[base+v] = int32(d.InDegree(v))
-		}
-	}
-
-	heaps := make([]taskHeap, inst.M)
-	for p := range heaps {
-		heaps[p].prio = prio
-	}
-	future := map[int32][]TaskID{}
-	pendingFuture := 0
-	makeAvailable := func(t TaskID, now int32) {
-		if readyAt[t] > now {
-			future[readyAt[t]] = append(future[readyAt[t]], t)
-			pendingFuture++
-			return
-		}
-		v, _ := inst.Split(t)
-		heap.Push(&heaps[assign[v]], t)
-	}
-	for t := 0; t < nt; t++ {
-		if indeg[t] == 0 {
-			makeAvailable(TaskID(t), 0)
-		}
-	}
-
-	start := make([]int32, nt)
-	for i := range start {
-		start[i] = -1
-	}
-	remaining := nt
-	completed := make([]TaskID, 0, inst.M)
-	cd := int32(commDelay)
-
-	for step := int32(0); remaining > 0; step++ {
-		if pendingFuture > 0 {
-			if due, ok := future[step]; ok {
-				for _, t := range due {
-					v, _ := inst.Split(t)
-					heap.Push(&heaps[assign[v]], t)
-				}
-				pendingFuture -= len(due)
-				delete(future, step)
-			}
-		}
-		completed = completed[:0]
-		for p := 0; p < inst.M; p++ {
-			h := &heaps[p]
-			if h.Len() == 0 {
-				continue
-			}
-			t := heap.Pop(h).(TaskID)
-			start[t] = step
-			remaining--
-			completed = append(completed, t)
-		}
-		if len(completed) == 0 && pendingFuture == 0 {
-			return nil, fmt.Errorf("sched: comm-delay deadlock at step %d with %d remaining", step, remaining)
-		}
-		for _, t := range completed {
-			v, i := inst.Split(t)
-			p := assign[v]
-			base := TaskID(i * n)
-			for _, w := range inst.DAGs[i].Out(v) {
-				wt := base + TaskID(w)
-				avail := step + 1
-				if assign[w] != p {
-					avail += cd
-				}
-				if avail > readyAt[wt] {
-					readyAt[wt] = avail
-				}
-				indeg[wt]--
-				if indeg[wt] == 0 {
-					makeAvailable(wt, step+1)
-				}
-			}
-		}
-	}
-
-	s := &Schedule{Inst: inst, Assign: assign, Start: start}
-	s.computeMakespan()
-	return s, nil
+	return dst, nil
 }
 
 // ValidateComm checks the communication-delay feasibility of a schedule:

@@ -1,0 +1,240 @@
+package sched
+
+// Reference implementations of the scheduling kernel, kept verbatim from
+// the pre-workspace code: container/heap task heaps with interface{}
+// boxing and a map[int32][]TaskID release calendar, with every piece of
+// state freshly allocated per call. The property tests pin the typed
+// kernel's output to these bit for bit, and the Kernel benchmarks use
+// them as the "before" baseline recorded in BENCH_PR3.json.
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// refTaskHeap is the old container/heap min-heap of tasks ordered by
+// (priority, id).
+type refTaskHeap struct {
+	ids  []TaskID
+	prio Priorities
+}
+
+func (h *refTaskHeap) Len() int { return len(h.ids) }
+func (h *refTaskHeap) Less(a, b int) bool {
+	pa, pb := h.prio[h.ids[a]], h.prio[h.ids[b]]
+	if pa != pb {
+		return pa < pb
+	}
+	return h.ids[a] < h.ids[b]
+}
+func (h *refTaskHeap) Swap(a, b int)      { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
+func (h *refTaskHeap) Push(x interface{}) { h.ids = append(h.ids, x.(TaskID)) }
+func (h *refTaskHeap) Pop() interface{} {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
+
+// refListScheduleWithRelease is the old ListScheduleWithRelease.
+func refListScheduleWithRelease(inst *Instance, assign Assignment, prio Priorities, release []int32) (*Schedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	if release != nil && len(release) != nt {
+		return nil, fmt.Errorf("sched: %d release times for %d tasks", len(release), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	heaps := make([]refTaskHeap, inst.M)
+	for p := range heaps {
+		heaps[p].prio = prio
+	}
+	future := map[int32][]TaskID{}
+	pendingFuture := 0
+	makeAvailable := func(t TaskID, now int32) {
+		if release != nil && release[t] > now {
+			future[release[t]] = append(future[release[t]], t)
+			pendingFuture++
+			return
+		}
+		v, _ := inst.Split(t)
+		heap.Push(&heaps[assign[v]], t)
+	}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			makeAvailable(TaskID(t), 0)
+		}
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completedAtStep := make([]TaskID, 0, inst.M)
+
+	for step := int32(0); remaining > 0; step++ {
+		if pendingFuture > 0 {
+			if due, ok := future[step]; ok {
+				for _, t := range due {
+					v, _ := inst.Split(t)
+					heap.Push(&heaps[assign[v]], t)
+				}
+				pendingFuture -= len(due)
+				delete(future, step)
+			}
+		}
+		completedAtStep = completedAtStep[:0]
+		for p := 0; p < inst.M; p++ {
+			h := &heaps[p]
+			if h.Len() == 0 {
+				continue
+			}
+			t := heap.Pop(h).(TaskID)
+			start[t] = step
+			remaining--
+			completedAtStep = append(completedAtStep, t)
+		}
+		if len(completedAtStep) == 0 && pendingFuture == 0 {
+			return nil, fmt.Errorf("sched: deadlock at step %d with %d tasks remaining", step, remaining)
+		}
+		for _, t := range completedAtStep {
+			v, i := inst.Split(t)
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					makeAvailable(wt, step+1)
+				}
+			}
+		}
+	}
+
+	s := &Schedule{Inst: inst, Assign: assign, Start: start}
+	s.computeMakespan()
+	return s, nil
+}
+
+// refListScheduleComm is the old ListScheduleComm.
+func refListScheduleComm(inst *Instance, assign Assignment, prio Priorities, commDelay int) (*Schedule, error) {
+	if commDelay < 0 {
+		return nil, fmt.Errorf("sched: negative communication delay %d", commDelay)
+	}
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	readyAt := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	heaps := make([]refTaskHeap, inst.M)
+	for p := range heaps {
+		heaps[p].prio = prio
+	}
+	future := map[int32][]TaskID{}
+	pendingFuture := 0
+	makeAvailable := func(t TaskID, now int32) {
+		if readyAt[t] > now {
+			future[readyAt[t]] = append(future[readyAt[t]], t)
+			pendingFuture++
+			return
+		}
+		v, _ := inst.Split(t)
+		heap.Push(&heaps[assign[v]], t)
+	}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			makeAvailable(TaskID(t), 0)
+		}
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completed := make([]TaskID, 0, inst.M)
+	cd := int32(commDelay)
+
+	for step := int32(0); remaining > 0; step++ {
+		if pendingFuture > 0 {
+			if due, ok := future[step]; ok {
+				for _, t := range due {
+					v, _ := inst.Split(t)
+					heap.Push(&heaps[assign[v]], t)
+				}
+				pendingFuture -= len(due)
+				delete(future, step)
+			}
+		}
+		completed = completed[:0]
+		for p := 0; p < inst.M; p++ {
+			h := &heaps[p]
+			if h.Len() == 0 {
+				continue
+			}
+			t := heap.Pop(h).(TaskID)
+			start[t] = step
+			remaining--
+			completed = append(completed, t)
+		}
+		if len(completed) == 0 && pendingFuture == 0 {
+			return nil, fmt.Errorf("sched: comm-delay deadlock at step %d with %d remaining", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			p := assign[v]
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				avail := step + 1
+				if assign[w] != p {
+					avail += cd
+				}
+				if avail > readyAt[wt] {
+					readyAt[wt] = avail
+				}
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					makeAvailable(wt, step+1)
+				}
+			}
+		}
+	}
+
+	s := &Schedule{Inst: inst, Assign: assign, Start: start}
+	s.computeMakespan()
+	return s, nil
+}

@@ -1,0 +1,615 @@
+package sched
+
+// Tests for the typed scheduling kernel: the 4-ary heap and calendar
+// queue are property-tested against container/heap and map references on
+// random streams, the Into entry points are pinned bitwise to the old
+// implementations, and testing.AllocsPerRun enforces the zero
+// steady-state allocation contract on a warm workspace.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"sweepsched/internal/dag"
+	"sweepsched/internal/rng"
+)
+
+// randomPrio draws priorities with deliberate ties so TaskID tie-breaking
+// is exercised on every stream.
+func randomPrio(nt int, r *rng.Source) Priorities {
+	prio := make(Priorities, nt)
+	for t := range prio {
+		prio[t] = int64(r.Intn(nt/4 + 1))
+	}
+	return prio
+}
+
+// TestHeap4MatchesContainerHeap drives a typed heap and a container/heap
+// reference with the same random (push, pop) stream and demands identical
+// pop sequences — including (priority, TaskID) tie-breaks.
+func TestHeap4MatchesContainerHeap(t *testing.T) {
+	r := rng.New(101)
+	for round := 0; round < 50; round++ {
+		nt := 1 + r.Intn(300)
+		prio := randomPrio(nt, r)
+		var h heap4
+		h.reset(prio)
+		ref := &refTaskHeap{prio: prio}
+		next := TaskID(0)
+		var got, want []TaskID
+		for op := 0; op < 4*nt; op++ {
+			if next >= TaskID(nt) && ref.Len() == 0 {
+				break
+			}
+			if next < TaskID(nt) && (ref.Len() == 0 || r.Intn(2) == 0) {
+				h.push(next)
+				heap.Push(ref, next)
+				next++
+				continue
+			}
+			got = append(got, h.pop())
+			want = append(want, heap.Pop(ref).(TaskID))
+		}
+		for h.len() > 0 {
+			got = append(got, h.pop())
+			want = append(want, heap.Pop(ref).(TaskID))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: pop %d: heap4 %d, container/heap %d", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHeap4PopOrderIsTotalOrder checks the defining property the kernel's
+// bitwise-equivalence rests on: regardless of push order, a drain returns
+// tasks sorted by (priority, TaskID).
+func TestHeap4PopOrderIsTotalOrder(t *testing.T) {
+	r := rng.New(77)
+	nt := 200
+	prio := randomPrio(nt, r)
+	perm := make([]TaskID, nt)
+	for i := range perm {
+		perm[i] = TaskID(i)
+	}
+	for i := nt - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	var h heap4
+	h.reset(prio)
+	for _, t := range perm {
+		h.push(t)
+	}
+	want := make([]TaskID, nt)
+	copy(want, perm)
+	sort.Slice(want, func(a, b int) bool {
+		if prio[want[a]] != prio[want[b]] {
+			return prio[want[a]] < prio[want[b]]
+		}
+		return want[a] < want[b]
+	})
+	for i, w := range want {
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+// TestHeap4InitMatchesIncrementalPush checks the residual kernel's
+// bulk-load path: heapify over arbitrary contents drains in the same
+// order as incremental pushes.
+func TestHeap4InitMatchesIncrementalPush(t *testing.T) {
+	r := rng.New(13)
+	nt := 150
+	prio := randomPrio(nt, r)
+	var bulk, inc heap4
+	bulk.reset(prio)
+	inc.reset(prio)
+	for t := TaskID(0); t < TaskID(nt); t++ {
+		bulk.appendUnordered(t)
+		inc.push(t)
+	}
+	bulk.initHeap()
+	for i := 0; i < nt; i++ {
+		a, b := bulk.pop(), inc.pop()
+		if a != b {
+			t.Fatalf("pop %d: bulk %d incremental %d", i, a, b)
+		}
+	}
+}
+
+// TestCalendarMatchesMapReference replays a random (push, drain) release
+// stream through the calendar ring and through the old map[int32][]TaskID
+// structure, comparing drained task sequences per step.
+func TestCalendarMatchesMapReference(t *testing.T) {
+	r := rng.New(4242)
+	for round := 0; round < 30; round++ {
+		horizon := int32(1 + r.Intn(40))
+		var cal calendar
+		cal.prepare(horizon)
+		ref := map[int32][]TaskID{}
+		refPending := 0
+		next := TaskID(0)
+		steps := int32(200)
+		for now := int32(0); now < steps; now++ {
+			var got []TaskID
+			if cal.pending > 0 {
+				got = append(got, cal.due(now)...)
+				cal.clearDue(now)
+			}
+			want := ref[now]
+			refPending -= len(want)
+			delete(ref, now)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("round %d step %d: calendar %v, map %v", round, now, got, want)
+			}
+			if cal.pending != refPending {
+				t.Fatalf("round %d step %d: pending %d vs %d", round, now, cal.pending, refPending)
+			}
+			for j := r.Intn(4); j > 0; j-- {
+				due := now + 1 + int32(r.Intn(int(horizon)))
+				cal.push(next, due)
+				ref[due] = append(ref[due], next)
+				refPending++
+				next++
+			}
+		}
+	}
+}
+
+// TestRankqMatchesHeapReference drives the rank-bitmap ready set and a
+// per-processor heap4 reference with the same random interleaved
+// (push, pop) streams and demands identical pop sequences, including
+// (priority, TaskID) tie-breaks. Every seventh round inflates the
+// priority spread past what packs next to a task id in 64 bits, forcing
+// build's comparison-sort fallback; build's partition is also checked
+// structurally against a sorted per-processor reference.
+func TestRankqMatchesHeapReference(t *testing.T) {
+	r := rng.New(7777)
+	for round := 0; round < 40; round++ {
+		n := 1 + r.Intn(60)
+		k := 1 + r.Intn(4)
+		m := 1 + r.Intn(8)
+		nt := n * k
+		prio := randomPrio(nt, r)
+		if round%7 == 3 {
+			for tt := range prio {
+				if tt%2 == 0 {
+					prio[tt] += math.MinInt64 / 2
+				} else {
+					prio[tt] += math.MaxInt64 / 2
+				}
+			}
+		}
+		assign := RandomAssignment(n, m, r)
+		procOf := func(tt TaskID) int32 { return assign[int32(tt)%int32(n)] }
+
+		var q rankq
+		q.build(prio, nt, m, assign, int32(n))
+
+		// Structural check: each processor's slot of order holds exactly
+		// its tasks in (prio, id) order, with rank the position within it.
+		for p := 0; p < m; p++ {
+			var want []TaskID
+			for tt := TaskID(0); tt < TaskID(nt); tt++ {
+				if procOf(tt) == int32(p) {
+					want = append(want, tt)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool {
+				if prio[want[a]] != prio[want[b]] {
+					return prio[want[a]] < prio[want[b]]
+				}
+				return want[a] < want[b]
+			})
+			got := q.order[q.taskOff[p]:q.taskOff[p+1]]
+			if len(got) != len(want) {
+				t.Fatalf("round %d proc %d: %d tasks in partition, want %d", round, p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d proc %d rank %d: task %d, want %d", round, p, i, got[i], want[i])
+				}
+				if q.rank[want[i]] != int32(i) {
+					t.Fatalf("round %d proc %d: task %d has rank %d, want %d", round, p, want[i], q.rank[want[i]], i)
+				}
+			}
+		}
+
+		q.reset()
+		ref := make([]heap4, m)
+		for p := range ref {
+			ref[p].reset(prio)
+		}
+		next, ready := 0, 0
+		for next < nt || ready > 0 {
+			if next < nt && (ready == 0 || r.Intn(2) == 0) {
+				tt := TaskID(next)
+				p := procOf(tt)
+				q.push(p, tt)
+				ref[p].push(tt)
+				next++
+				ready++
+				continue
+			}
+			p := int32(r.Intn(m))
+			for ref[p].len() == 0 {
+				p = (p + 1) % int32(m)
+			}
+			if int(q.count[p]) != ref[p].len() {
+				t.Fatalf("round %d proc %d: count %d, reference %d", round, p, q.count[p], ref[p].len())
+			}
+			got, want := q.pop(p), ref[p].pop()
+			if got != want {
+				t.Fatalf("round %d proc %d: popped %d, reference %d", round, p, got, want)
+			}
+			ready--
+		}
+	}
+}
+
+// randomDAGInstance builds a mesh-free instance of k independent random
+// DAGs (edges only from lower to higher cell id, so acyclic by
+// construction) for the kernel equivalence tests.
+func randomDAGInstance(t testing.TB, n, k, m int, seed uint64) *Instance {
+	t.Helper()
+	r := rng.New(seed)
+	dags := make([]*dag.DAG, k)
+	for i := range dags {
+		var edges [][2]int32
+		for u := int32(0); u < int32(n); u++ {
+			for e := r.Intn(3); e > 0; e-- {
+				w := u + 1 + int32(r.Intn(n-int(u)))
+				if w < int32(n) {
+					edges = append(edges, [2]int32{u, w})
+				}
+			}
+		}
+		d, err := dag.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dags[i] = d
+	}
+	inst, err := FromDAGs(dags, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// releaseStream draws random per-task release times in [0, maxRel].
+func releaseStream(nt, maxRel int, r *rng.Source) []int32 {
+	rel := make([]int32, nt)
+	for t := range rel {
+		rel[t] = int32(r.Intn(maxRel + 1))
+	}
+	return rel
+}
+
+// TestListScheduleIntoMatchesReference pins the typed workspace kernel to
+// the container/heap reference bit for bit across random instances,
+// priorities and release streams — mesh DAGs and random non-geometric
+// DAGs, with one workspace reused across every case to also exercise
+// cross-shape reuse.
+func TestListScheduleIntoMatchesReference(t *testing.T) {
+	ws := NewWorkspace()
+	r := rng.New(987)
+	insts := []*Instance{
+		testInstance(t, 3, 6, 4, 5),
+		randomDAGInstance(t, 120, 5, 7, 6),
+		randomDAGInstance(t, 40, 3, 2, 7),
+	}
+	for ii, inst := range insts {
+		nt := inst.NTasks()
+		for round := 0; round < 10; round++ {
+			assign := RandomAssignment(inst.N(), inst.M, r)
+			var prio Priorities
+			if round > 0 {
+				prio = randomPrio(nt, r)
+			}
+			var rel []int32
+			if round%2 == 1 {
+				rel = releaseStream(nt, 2*inst.K(), r)
+			}
+			want, err := refListScheduleWithRelease(inst, assign, prio, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := &Schedule{}
+			if err := ListScheduleInto(ws, dst, inst, assign, prio, rel); err != nil {
+				t.Fatal(err)
+			}
+			for tt := range want.Start {
+				if dst.Start[tt] != want.Start[tt] {
+					t.Fatalf("inst %d round %d: task %d starts at %d, reference %d",
+						ii, round, tt, dst.Start[tt], want.Start[tt])
+				}
+			}
+			if dst.Makespan != want.Makespan {
+				t.Fatalf("inst %d round %d: makespan %d vs %d", ii, round, dst.Makespan, want.Makespan)
+			}
+		}
+	}
+}
+
+// TestCommScheduleIntoMatchesReference does the same for the uniform
+// communication-delay kernel across a delay sweep.
+func TestCommScheduleIntoMatchesReference(t *testing.T) {
+	ws := NewWorkspace()
+	r := rng.New(654)
+	insts := []*Instance{
+		testInstance(t, 3, 4, 6, 9),
+		randomDAGInstance(t, 90, 4, 5, 10),
+	}
+	for ii, inst := range insts {
+		nt := inst.NTasks()
+		for _, cd := range []int{0, 1, 3, 9, 40} {
+			assign := RandomAssignment(inst.N(), inst.M, r)
+			prio := randomPrio(nt, r)
+			want, err := refListScheduleComm(inst, assign, prio, cd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := &Schedule{}
+			if err := CommScheduleInto(ws, dst, inst, assign, prio, cd); err != nil {
+				t.Fatal(err)
+			}
+			for tt := range want.Start {
+				if dst.Start[tt] != want.Start[tt] {
+					t.Fatalf("inst %d c=%d: task %d starts at %d, reference %d",
+						ii, cd, tt, dst.Start[tt], want.Start[tt])
+				}
+			}
+		}
+	}
+}
+
+// TestResidualIntoMatchesWrapper checks the residual Into kernel against
+// the (already-tested) wrapper across random done sets.
+func TestResidualIntoMatchesWrapper(t *testing.T) {
+	inst := randomDAGInstance(t, 80, 4, 5, 20)
+	r := rng.New(21)
+	assign := RandomAssignment(inst.N(), inst.M, r)
+	prio := randomPrio(inst.NTasks(), r)
+	full, err := ListSchedule(inst, assign, prio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A precedence-consistent done set: everything started before a cut.
+	for _, cut := range []int32{0, 1, int32(full.Makespan) / 2} {
+		done := make([]bool, inst.NTasks())
+		for tt, st := range full.Start {
+			if st < cut {
+				done[tt] = true
+			}
+		}
+		want, err := ListScheduleResidual(inst, assign, prio, done)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := NewWorkspace()
+		dst := &Schedule{}
+		if err := ListScheduleResidualInto(ws, dst, inst, assign, prio, done); err != nil {
+			t.Fatal(err)
+		}
+		for tt := range want.Start {
+			if dst.Start[tt] != want.Start[tt] {
+				t.Fatalf("cut %d: task %d starts at %d, wrapper %d", cut, tt, dst.Start[tt], want.Start[tt])
+			}
+		}
+		if dst.Makespan != want.Makespan {
+			t.Fatalf("cut %d: makespan %d vs %d", cut, dst.Makespan, want.Makespan)
+		}
+	}
+}
+
+// TestKernelErrorsPreserved checks the Into kernels report the same
+// argument errors as the old entry points.
+func TestKernelErrorsPreserved(t *testing.T) {
+	inst := randomDAGInstance(t, 10, 2, 2, 30)
+	ws := NewWorkspace()
+	dst := &Schedule{}
+	good := make(Assignment, inst.N())
+	if err := ListScheduleInto(ws, dst, inst, Assignment{0}, nil, nil); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if err := ListScheduleInto(ws, dst, inst, good, Priorities{1}, nil); err == nil {
+		t.Fatal("short priorities accepted")
+	}
+	if err := ListScheduleInto(ws, dst, inst, good, nil, []int32{1}); err == nil {
+		t.Fatal("short release accepted")
+	}
+	if err := CommScheduleInto(ws, dst, inst, good, nil, -1); err == nil {
+		t.Fatal("negative comm delay accepted")
+	}
+	if err := ListScheduleResidualInto(ws, dst, inst, good, nil, make([]bool, 1)); err == nil {
+		t.Fatal("short done set accepted")
+	}
+}
+
+// TestScheduleIntoZeroAllocs is the steady-state allocation regression
+// test: on a warm workspace with a recycled destination, the list and
+// comm kernels must not allocate at all, and the residual kernel must
+// not either (the fault engine reschedules through one workspace).
+func TestScheduleIntoZeroAllocs(t *testing.T) {
+	inst := testInstance(t, 4, 8, 16, 11)
+	r := rng.New(3)
+	assign := RandomAssignment(inst.N(), inst.M, r)
+	prio := randomPrio(inst.NTasks(), r)
+	rel := releaseStream(inst.NTasks(), inst.K(), r)
+	ws := NewWorkspace()
+	dst := &Schedule{}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"ListScheduleInto", func() error { return ListScheduleInto(ws, dst, inst, assign, prio, rel) }},
+		{"ListScheduleInto/nilPrioRelease", func() error { return ListScheduleInto(ws, dst, inst, assign, nil, nil) }},
+		{"CommScheduleInto", func() error { return CommScheduleInto(ws, dst, inst, assign, prio, 4) }},
+		{"ListScheduleResidualInto", func() error { return ListScheduleResidualInto(ws, dst, inst, assign, prio, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm up: size the workspace, destination and calendar ring.
+			if err := tc.run(); err != nil {
+				t.Fatal(err)
+			}
+			var err error
+			allocs := testing.AllocsPerRun(5, func() {
+				err = tc.run()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allocs != 0 {
+				t.Fatalf("%v allocs/op on a warm workspace, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestWorkspacePoolRoundTrip checks GetWorkspace returns shape-warm
+// workspaces after Release and that pooled reuse still yields correct
+// schedules.
+func TestWorkspacePoolRoundTrip(t *testing.T) {
+	inst := randomDAGInstance(t, 60, 3, 4, 40)
+	assign := RandomAssignment(inst.N(), inst.M, rng.New(8))
+	want, err := refListScheduleWithRelease(inst, assign, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		ws := GetWorkspace(inst)
+		dst := &Schedule{}
+		if err := ListScheduleInto(ws, dst, inst, assign, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for tt := range want.Start {
+			if dst.Start[tt] != want.Start[tt] {
+				t.Fatalf("round %d: task %d starts at %d, reference %d", round, tt, dst.Start[tt], want.Start[tt])
+			}
+		}
+		ws.Release()
+	}
+}
+
+// TestWorkspaceScratchBuffers checks the caller-facing scratch getters
+// resize correctly and are distinct from the kernel's zero-priority
+// backing.
+func TestWorkspaceScratchBuffers(t *testing.T) {
+	ws := NewWorkspace()
+	p := ws.PrioBuf(10)
+	if len(p) != 10 {
+		t.Fatalf("PrioBuf length %d", len(p))
+	}
+	for i := range p {
+		p[i] = 99
+	}
+	b := ws.Int32Buf(20)
+	if len(b) != 20 {
+		t.Fatalf("Int32Buf length %d", len(b))
+	}
+	// A nil-priority schedule after dirtying PrioBuf must still see all
+	// zero priorities (zeroPrio is a separate buffer).
+	inst := randomDAGInstance(t, 30, 2, 2, 50)
+	assign := RandomAssignment(inst.N(), inst.M, rng.New(1))
+	want, err := refListScheduleWithRelease(inst, assign, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := &Schedule{}
+	if err := ListScheduleInto(ws, dst, inst, assign, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for tt := range want.Start {
+		if dst.Start[tt] != want.Start[tt] {
+			t.Fatalf("task %d starts at %d, reference %d", tt, dst.Start[tt], want.Start[tt])
+		}
+	}
+}
+
+// kernelBenchWorkload builds the random-delay trial workload both kernel
+// benchmark variants share: level+delay priorities and per-direction
+// release times, fresh assignment per trial — the §5.2 inner loop.
+func kernelBenchWorkload(b *testing.B) (*Instance, []Assignment, Priorities, []int32) {
+	b.Helper()
+	inst := testInstance(b, 8, 24, 32, 1)
+	r := rng.New(2)
+	nt := inst.NTasks()
+	n := int32(inst.N())
+	prio := make(Priorities, nt)
+	rel := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		delay := int32(r.Intn(inst.K()))
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = int64(d.Level[v] + delay)
+			rel[base+v] = delay
+		}
+	}
+	assigns := make([]Assignment, 8)
+	for i := range assigns {
+		assigns[i] = RandomAssignment(inst.N(), inst.M, r)
+	}
+	return inst, assigns, prio, rel
+}
+
+// BenchmarkScheduleKernel compares the old container/heap+map kernel
+// ("ref") with the typed workspace kernel ("workspace") on the
+// random-delay trial loop; the speedup and allocs/op are recorded in
+// BENCH_PR3.json.
+func BenchmarkScheduleKernel(b *testing.B) {
+	inst, assigns, prio, rel := kernelBenchWorkload(b)
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := refListScheduleWithRelease(inst, assigns[i%len(assigns)], prio, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := NewWorkspace()
+		dst := &Schedule{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ListScheduleInto(ws, dst, inst, assigns[i%len(assigns)], prio, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCommKernel is the same comparison for the communication-delay
+// kernel.
+func BenchmarkCommKernel(b *testing.B) {
+	inst, assigns, prio, _ := kernelBenchWorkload(b)
+	const cd = 4
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := refListScheduleComm(inst, assigns[i%len(assigns)], prio, cd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := NewWorkspace()
+		dst := &Schedule{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := CommScheduleInto(ws, dst, inst, assigns[i%len(assigns)], prio, cd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -10,30 +9,6 @@ import (
 // passing it in). Ties break on TaskID for determinism.
 type Priorities []int64
 
-// taskHeap is a min-heap of tasks ordered by (priority, id).
-type taskHeap struct {
-	ids  []TaskID
-	prio Priorities
-}
-
-func (h *taskHeap) Len() int { return len(h.ids) }
-func (h *taskHeap) Less(a, b int) bool {
-	pa, pb := h.prio[h.ids[a]], h.prio[h.ids[b]]
-	if pa != pb {
-		return pa < pb
-	}
-	return h.ids[a] < h.ids[b]
-}
-func (h *taskHeap) Swap(a, b int)      { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
-func (h *taskHeap) Push(x interface{}) { h.ids = append(h.ids, x.(TaskID)) }
-func (h *taskHeap) Pop() interface{} {
-	old := h.ids
-	n := len(old)
-	x := old[n-1]
-	h.ids = old[:n-1]
-	return x
-}
-
 // ListSchedule runs priority list scheduling with a fixed cell-to-processor
 // assignment (§3, "List Scheduling"): at every timestep each processor runs
 // the ready task of smallest priority among the tasks assigned to it. The
@@ -41,6 +16,10 @@ func (h *taskHeap) Pop() interface{} {
 //
 // prio may be nil, in which case all tasks share one priority and ties
 // break on TaskID.
+//
+// ListSchedule is a convenience wrapper over ListScheduleInto with a
+// pooled workspace; trial loops that schedule the same instance shape
+// repeatedly should hold a Workspace and call the Into form directly.
 func ListSchedule(inst *Instance, assign Assignment, prio Priorities) (*Schedule, error) {
 	return ListScheduleWithRelease(inst, assign, prio, nil)
 }
@@ -51,138 +30,67 @@ func ListSchedule(inst *Instance, assign Assignment, prio Priorities) (*Schedule
 // where direction i is held back by X_i steps. A nil release means all
 // zeros.
 func ListScheduleWithRelease(inst *Instance, assign Assignment, prio Priorities, release []int32) (*Schedule, error) {
-	if err := assign.Validate(inst.N(), inst.M); err != nil {
+	ws := GetWorkspace(inst)
+	defer ws.Release()
+	dst := &Schedule{}
+	if err := ListScheduleInto(ws, dst, inst, assign, prio, release); err != nil {
 		return nil, err
 	}
-	nt := inst.NTasks()
-	if prio == nil {
-		prio = make(Priorities, nt)
-	}
-	if len(prio) != nt {
-		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
-	}
-	if release != nil && len(release) != nt {
-		return nil, fmt.Errorf("sched: %d release times for %d tasks", len(release), nt)
-	}
-
-	n := int32(inst.N())
-	indeg := make([]int32, nt)
-	for i, d := range inst.DAGs {
-		base := int32(i) * n
-		for v := int32(0); v < n; v++ {
-			indeg[base+v] = int32(d.InDegree(v))
-		}
-	}
-
-	heaps := make([]taskHeap, inst.M)
-	for p := range heaps {
-		heaps[p].prio = prio
-	}
-	// future[step] holds ready tasks whose release time is still ahead.
-	future := map[int32][]TaskID{}
-	pendingFuture := 0
-	makeAvailable := func(t TaskID, now int32) {
-		if release != nil && release[t] > now {
-			future[release[t]] = append(future[release[t]], t)
-			pendingFuture++
-			return
-		}
-		v, _ := inst.Split(t)
-		heap.Push(&heaps[assign[v]], t)
-	}
-	for t := 0; t < nt; t++ {
-		if indeg[t] == 0 {
-			makeAvailable(TaskID(t), 0)
-		}
-	}
-
-	start := make([]int32, nt)
-	for i := range start {
-		start[i] = -1
-	}
-	remaining := nt
-	completedAtStep := make([]TaskID, 0, inst.M)
-
-	for step := int32(0); remaining > 0; step++ {
-		if pendingFuture > 0 {
-			if due, ok := future[step]; ok {
-				for _, t := range due {
-					v, _ := inst.Split(t)
-					heap.Push(&heaps[assign[v]], t)
-				}
-				pendingFuture -= len(due)
-				delete(future, step)
-			}
-		}
-		completedAtStep = completedAtStep[:0]
-		for p := 0; p < inst.M; p++ {
-			h := &heaps[p]
-			if h.Len() == 0 {
-				continue
-			}
-			t := heap.Pop(h).(TaskID)
-			start[t] = step
-			remaining--
-			completedAtStep = append(completedAtStep, t)
-		}
-		if len(completedAtStep) == 0 && pendingFuture == 0 {
-			return nil, fmt.Errorf("sched: deadlock at step %d with %d tasks remaining", step, remaining)
-		}
-		for _, t := range completedAtStep {
-			v, i := inst.Split(t)
-			base := TaskID(i * n)
-			for _, w := range inst.DAGs[i].Out(v) {
-				wt := base + TaskID(w)
-				indeg[wt]--
-				if indeg[wt] == 0 {
-					makeAvailable(wt, step+1)
-				}
-			}
-		}
-	}
-
-	s := &Schedule{Inst: inst, Assign: assign, Start: start}
-	s.computeMakespan()
-	return s, nil
+	return dst, nil
 }
 
 // GreedySchedule runs Graham's list scheduling on the union DAG H of all
 // directions with m identical machines and no processor pinning: at every
 // step up to m ready tasks run, smallest priority first. It returns the
 // completion step (1-based level) of every task — exactly the L'
-// preprocessing levels of Algorithm 3 — and the makespan T.
+// preprocessing levels of Algorithm 3 — and the makespan T. Its transient
+// state (ready heap, indegrees, step batch) comes from the shape-keyed
+// workspace pool, so trial loops pay only for the returned level slice.
 func GreedySchedule(inst *Instance, prio Priorities) (level []int32, makespan int, err error) {
-	nt := inst.NTasks()
-	if prio == nil {
-		prio = make(Priorities, nt)
+	ws := GetWorkspace(inst)
+	defer ws.Release()
+	level = make([]int32, inst.NTasks())
+	makespan, err = GreedyScheduleInto(ws, level, inst, prio)
+	if err != nil {
+		return nil, 0, err
 	}
-	if len(prio) != nt {
-		return nil, 0, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	return level, makespan, nil
+}
+
+// GreedyScheduleInto is GreedySchedule writing the preprocessing levels
+// into the caller-provided level slice (len = NTasks) and drawing all
+// transient state from ws. It allocates nothing on a warm workspace.
+func GreedyScheduleInto(ws *Workspace, level []int32, inst *Instance, prio Priorities) (makespan int, err error) {
+	nt := inst.NTasks()
+	if len(level) != nt {
+		return 0, fmt.Errorf("sched: %d level slots for %d tasks", len(level), nt)
+	}
+	ws.ensure(inst)
+	if prio == nil {
+		prio = ws.zeroPrio
+	} else if len(prio) != nt {
+		return 0, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
 	}
 	n := int32(inst.N())
-	indeg := make([]int32, nt)
-	for i, d := range inst.DAGs {
-		base := int32(i) * n
-		for v := int32(0); v < n; v++ {
-			indeg[base+v] = int32(d.InDegree(v))
-		}
-	}
-	ready := taskHeap{prio: prio}
-	for t := 0; t < nt; t++ {
+	ws.fillIndeg(inst)
+	indeg := ws.indeg
+	ready := &ws.heaps[0]
+	ready.reset(prio)
+	for t := TaskID(0); t < TaskID(nt); t++ {
 		if indeg[t] == 0 {
-			heap.Push(&ready, TaskID(t))
+			ready.push(t)
 		}
 	}
-	level = make([]int32, nt)
 	remaining := nt
-	batch := make([]TaskID, 0, inst.M)
+	batch := ws.completed[:0]
 	for step := int32(1); remaining > 0; step++ {
 		batch = batch[:0]
-		for len(batch) < inst.M && ready.Len() > 0 {
-			batch = append(batch, heap.Pop(&ready).(TaskID))
+		for len(batch) < inst.M && ready.len() > 0 {
+			batch = append(batch, ready.pop())
 		}
 		if len(batch) == 0 {
-			return nil, 0, fmt.Errorf("sched: greedy deadlock at step %d", step)
+			ws.completed = batch
+			return 0, fmt.Errorf("sched: greedy deadlock at step %d", step)
 		}
 		for _, t := range batch {
 			level[t] = step
@@ -195,13 +103,14 @@ func GreedySchedule(inst *Instance, prio Priorities) (level []int32, makespan in
 				wt := base + TaskID(w)
 				indeg[wt]--
 				if indeg[wt] == 0 {
-					heap.Push(&ready, wt)
+					ready.push(wt)
 				}
 			}
 		}
 		makespan = int(step)
 	}
-	return level, makespan, nil
+	ws.completed = batch[:0]
+	return makespan, nil
 }
 
 // LayeredSchedule implements the layer-synchronous execution of Algorithms

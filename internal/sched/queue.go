@@ -1,0 +1,411 @@
+package sched
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+)
+
+// Typed ready-queue primitives for the scheduling kernel. All replace
+// container/heap structures from the original implementation: heap4 is a
+// slice-backed 4-ary min-heap with no interface{} boxing, rankq is a
+// rank-bitmap ready set for the static-priority list kernels, and
+// calendar is a monotone bucket queue for release times. Every operation
+// preserves the (priority, TaskID) total order the old heaps used, so
+// schedules produced through these structures are bitwise-identical to
+// the container/heap ones (a heap pops elements of a total order in
+// sorted order regardless of arity or insertion history, and rankq pops
+// the ready task of minimum rank in exactly that order).
+
+// heapEntry is one heap slot: the task's priority is captured at push
+// time, so sift comparisons read contiguous heap memory instead of
+// indirecting into the shared priority slice (the kernel never mutates
+// priorities mid-run, so the captured copy cannot go stale).
+type heapEntry struct {
+	prio int64
+	id   TaskID
+}
+
+// entryLess is the strict (priority, id) total order; ids are unique, so
+// no two distinct tasks compare equal.
+func entryLess(a, b heapEntry) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.id < b.id
+}
+
+// heap4 is a 4-ary min-heap of (priority, TaskID) entries. The priority
+// slice is shared with the caller, read only at push time, never written.
+// A 4-ary layout halves the tree depth of a binary heap and keeps the
+// four children of a node in one or two cache lines, which is where the
+// list scheduler's inner loop spends its time.
+type heap4 struct {
+	es   []heapEntry
+	prio Priorities
+}
+
+// reset empties the heap (keeping capacity) and installs the priority
+// slice for this run.
+func (h *heap4) reset(prio Priorities) {
+	h.es = h.es[:0]
+	h.prio = prio
+}
+
+func (h *heap4) len() int { return len(h.es) }
+
+// push inserts a task, sifting it up from the last slot.
+func (h *heap4) push(t TaskID) {
+	e := heapEntry{h.prio[t], t}
+	h.es = append(h.es, e)
+	es := h.es
+	i := len(es) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(e, es[parent]) {
+			break
+		}
+		es[i] = es[parent]
+		i = parent
+	}
+	es[i] = e
+}
+
+// appendUnordered adds a task without restoring the heap invariant; the
+// caller must initHeap before popping. Used for bulk-loading the residual
+// kernel's initial ready set.
+func (h *heap4) appendUnordered(t TaskID) {
+	h.es = append(h.es, heapEntry{h.prio[t], t})
+}
+
+// pop removes and returns the (priority, id)-smallest task.
+func (h *heap4) pop() TaskID {
+	es := h.es
+	top := es[0].id
+	last := len(es) - 1
+	es[0] = es[last]
+	h.es = es[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *heap4) siftDown(i int) {
+	es := h.es
+	n := len(es)
+	e := es[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		be := es[first]
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(es[c], be) {
+				best, be = c, es[c]
+			}
+		}
+		if !entryLess(be, e) {
+			break
+		}
+		es[i] = be
+		i = best
+	}
+	es[i] = e
+}
+
+// initHeap establishes the heap invariant over arbitrary contents in
+// O(n) — used by the residual kernel, which bulk-loads its initial ready
+// set before scheduling.
+func (h *heap4) initHeap() {
+	for i := (len(h.es) - 2) >> 2; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// rankq is the ready-set structure of the static-priority list kernels
+// (ListScheduleInto, CommScheduleInto). Those kernels never change a
+// task's priority or its processor after the run starts, so the
+// (priority, TaskID) total order can be materialized once per run:
+// build sorts all tasks into rank order and partitions them by
+// processor, giving each processor a dense local rank space over only
+// its own tasks. Each processor's ready set is then a bitmap over its
+// local ranks: push sets one bit; pop finds the lowest set bit — the
+// ready task of minimum (priority, TaskID) — with a short forward word
+// scan from a per-processor hint plus TrailingZeros64. That removes the
+// per-pop sift work of a heap (the dominant cost of the kernel) in
+// exchange for one cache-friendly radix sort per run, and the dense
+// per-processor bitmaps (nt bits total across all processors) stay
+// resident in L1.
+//
+// Pop order is identical to a min-heap's: both return the minimum of
+// the current ready set under the same strict total order, so schedules
+// are bitwise-identical to the heap4 and container/heap kernels.
+type rankq struct {
+	keys     []uint64 // sort scratch: (prio - minPrio) << idBits | TaskID
+	keys2    []uint64 // radix scatter buffer
+	order    []TaskID // taskOff[p] + local rank -> task
+	rank     []int32  // task -> local rank on its processor
+	taskOff  []int32  // processor -> start of its slot in order (len m+1)
+	wordsOff []int32  // processor -> start of its bitmap words (len m+1)
+	next     []int32  // partition scratch (len m)
+	words    []uint64 // concatenated per-processor bitmaps
+	minWord  []int32  // per-processor scan hint (lowest possibly-set word)
+	count    []int32  // per-processor ready count
+}
+
+// build sorts the nt tasks by (prio, TaskID) and partitions the sorted
+// order into per-processor local ranks (processor of task t is
+// assign[t mod n]). Priorities whose spread fits alongside a task id in
+// 64 bits — every practical case; level and delay priorities are small
+// ints — pack into uint64 keys sorted by an LSD radix sort over only
+// the bits the key range actually uses (typically ~20: priority spread
+// in the hundreds times ids in the tens of thousands, i.e. two scatter
+// passes). Wider spreads fall back to an in-place comparison sort.
+// Neither path allocates once the scratch has grown to (nt, m).
+func (q *rankq) build(prio Priorities, nt, m int, assign Assignment, n int32) {
+	if cap(q.order) < nt {
+		q.order = make([]TaskID, nt)
+		q.rank = make([]int32, nt)
+		q.keys = make([]uint64, nt)
+		q.keys2 = make([]uint64, nt)
+	}
+	q.order = q.order[:nt]
+	q.rank = q.rank[:nt]
+	q.keys = q.keys[:nt]
+	q.keys2 = q.keys2[:nt]
+	if cap(q.taskOff) < m+1 {
+		q.taskOff = make([]int32, m+1)
+		q.wordsOff = make([]int32, m+1)
+		q.next = make([]int32, m)
+	}
+	q.taskOff = q.taskOff[:m+1]
+	q.wordsOff = q.wordsOff[:m+1]
+	q.next = q.next[:m]
+	if nt == 0 {
+		for p := 0; p <= m; p++ {
+			q.taskOff[p], q.wordsOff[p] = 0, 0
+		}
+		return
+	}
+	keys := q.keys
+
+	// Sort task ids into keys by (prio, TaskID) ascending.
+	minP, maxP := prio[0], prio[0]
+	for _, p := range prio[1:] {
+		if p < minP {
+			minP = p
+		} else if p > maxP {
+			maxP = p
+		}
+	}
+	spread := uint64(maxP) - uint64(minP)
+	idBits := bits.Len64(uint64(nt - 1))
+	if spread > math.MaxUint64>>(idBits+1) {
+		order := q.order
+		for t := range order {
+			order[t] = TaskID(t)
+		}
+		slices.SortFunc(order, func(a, b TaskID) int {
+			if prio[a] != prio[b] {
+				if prio[a] < prio[b] {
+					return -1
+				}
+				return 1
+			}
+			return int(a - b)
+		})
+		for r, t := range order {
+			keys[r] = uint64(uint32(t))
+		}
+	} else {
+		for t := 0; t < nt; t++ {
+			keys[t] = (uint64(prio[t])-uint64(minP))<<idBits | uint64(uint32(t))
+		}
+		q.sortKeys(spread<<idBits | uint64(nt-1))
+		keys = q.keys // sortKeys may have swapped the buffers
+		if idBits < 64 {
+			idMask := uint64(1)<<idBits - 1
+			for r, k := range keys {
+				keys[r] = k & idMask
+			}
+		}
+	}
+
+	// Partition the sorted order by processor: processor p's tasks, in
+	// global (prio, id) order, occupy order[taskOff[p]:taskOff[p+1]]
+	// and get local ranks 0..count-1; its bitmap occupies
+	// words[wordsOff[p]:wordsOff[p+1]].
+	k := int32(nt) / n
+	next := q.next
+	clear(next)
+	for v := int32(0); v < n; v++ {
+		next[assign[v]]++
+	}
+	var to, wo int32
+	for p := 0; p < m; p++ {
+		q.taskOff[p], q.wordsOff[p] = to, wo
+		tc := next[p] * k
+		to += tc
+		wo += (tc + 63) >> 6
+	}
+	q.taskOff[m], q.wordsOff[m] = to, wo
+	clear(next)
+	for _, key := range keys {
+		t := TaskID(key)
+		p := assign[int32(t)%n]
+		lr := next[p]
+		next[p] = lr + 1
+		q.rank[t] = lr
+		q.order[q.taskOff[p]+lr] = t
+	}
+}
+
+// sortKeys is a stable LSD radix sort of q.keys ascending, 12-bit
+// digits, visiting only the digits below maxKey's highest set bit.
+// Typical list-kernel keys use ~20-25 significant bits (priority spread
+// in the hundreds, task ids in the tens of thousands), so two scatter
+// passes replace the O(nt log nt) comparison sort.
+func (q *rankq) sortKeys(maxKey uint64) {
+	const dbits = 12
+	const dsize = 1 << dbits
+	var counts [dsize]int32
+	keys, tmp := q.keys, q.keys2
+	for shift := 0; shift < bits.Len64(maxKey); shift += dbits {
+		clear(counts[:])
+		for _, k := range keys {
+			counts[(k>>shift)&(dsize-1)]++
+		}
+		var sum int32
+		for d := range counts {
+			c := counts[d]
+			counts[d] = sum
+			sum += c
+		}
+		for _, k := range keys {
+			d := (k >> shift) & (dsize - 1)
+			tmp[counts[d]] = k
+			counts[d]++
+		}
+		keys, tmp = tmp, keys
+	}
+	q.keys, q.keys2 = keys, tmp
+}
+
+// reset clears the per-processor bitmaps for a run. Must follow build
+// (which computes the partition offsets).
+func (q *rankq) reset() {
+	m := len(q.taskOff) - 1
+	need := int(q.wordsOff[m])
+	if cap(q.words) < need {
+		q.words = make([]uint64, need)
+	}
+	q.words = q.words[:need]
+	clear(q.words)
+	if cap(q.minWord) < m {
+		q.minWord = make([]int32, m)
+		q.count = make([]int32, m)
+	}
+	q.minWord = q.minWord[:m]
+	q.count = q.count[:m]
+	copy(q.minWord, q.wordsOff[1:])
+	clear(q.count)
+}
+
+// push marks task t ready on its processor p (p must be the processor
+// build partitioned t onto).
+func (q *rankq) push(p int32, t TaskID) {
+	r := q.rank[t]
+	w := q.wordsOff[p] + r>>6
+	q.words[w] |= 1 << uint(r&63)
+	if w < q.minWord[p] {
+		q.minWord[p] = w
+	}
+	q.count[p]++
+}
+
+// pop removes and returns processor p's ready task of minimum
+// (priority, TaskID). The caller must check count[p] > 0 first.
+func (q *rankq) pop(p int32) TaskID {
+	w := q.minWord[p]
+	for q.words[w] == 0 {
+		w++
+	}
+	b := bits.TrailingZeros64(q.words[w])
+	q.words[w] &^= 1 << uint(b)
+	q.minWord[p] = w
+	q.count[p]--
+	lr := int32(w-q.wordsOff[p])<<6 + int32(b)
+	return q.order[q.taskOff[p]+lr]
+}
+
+// calendar is a monotone bucket queue for task release times keyed on the
+// schedule step: bucket (due & mask) holds the tasks that become
+// available exactly at step due. It replaces the map[int32][]TaskID
+// "future" calendars that list.go and comm.go each used to duplicate.
+//
+// The queue exploits the monotone structure of the scheduling loop: the
+// current step only increases, and every pushed due step lies within a
+// bounded horizon of the current step (releases are bounded by the
+// maximum delay; comm-model availability by commDelay+1). A ring of
+// size > horizon therefore maps each in-flight due step to a distinct
+// bucket, making push and drain O(1) with no hashing and no per-step
+// map traffic. Bucket slices are reused across runs.
+type calendar struct {
+	buckets [][]TaskID
+	mask    int32
+	pending int
+}
+
+// prepare sizes the ring for due-now spans of at most horizon steps and
+// clears any stale contents. The ring only ever grows, so steady-state
+// reuse with a stable horizon performs no allocation.
+func (c *calendar) prepare(horizon int32) {
+	need := int(horizon) + 1
+	size := len(c.buckets)
+	if size == 0 {
+		size = 8
+	}
+	for size < need {
+		size <<= 1
+	}
+	if size != len(c.buckets) {
+		nb := make([][]TaskID, size)
+		copy(nb, c.buckets)
+		c.buckets = nb
+	}
+	c.mask = int32(size - 1)
+	for i := range c.buckets {
+		c.buckets[i] = c.buckets[i][:0]
+	}
+	c.pending = 0
+}
+
+// push files a task under its due step. The caller guarantees
+// due - currentStep <= horizon (the kernel's release and comm bounds do).
+func (c *calendar) push(t TaskID, due int32) {
+	i := due & c.mask
+	c.buckets[i] = append(c.buckets[i], t)
+	c.pending++
+}
+
+// due returns the tasks released exactly at step now. The caller must
+// finish iterating the returned slice before pushing tasks due at
+// now+ringSize or later — impossible under the horizon invariant — and
+// must call clearDue(now) afterwards to recycle the bucket.
+func (c *calendar) due(now int32) []TaskID {
+	return c.buckets[now&c.mask]
+}
+
+// clearDue recycles step now's bucket after its tasks were consumed.
+func (c *calendar) clearDue(now int32) {
+	i := now & c.mask
+	c.pending -= len(c.buckets[i])
+	c.buckets[i] = c.buckets[i][:0]
+}

@@ -1,10 +1,5 @@
 package sched
 
-import (
-	"container/heap"
-	"fmt"
-)
-
 // ListScheduleResidual is list scheduling restricted to the tasks not yet
 // done: it produces start times for every task t with !done[t], treating
 // done tasks as completed before step 0 (their successors owe them no
@@ -17,93 +12,16 @@ import (
 // Makespan covers only the residual steps, so the result is NOT a valid
 // full schedule under (*Schedule).Validate — it is an execution plan for
 // the remaining work.
+//
+// ListScheduleResidual is a convenience wrapper over
+// ListScheduleResidualInto with a pooled workspace; the fault-recovery
+// engine holds its own Workspace and calls the Into form directly.
 func ListScheduleResidual(inst *Instance, assign Assignment, prio Priorities, done []bool) (*Schedule, error) {
-	if err := assign.Validate(inst.N(), inst.M); err != nil {
+	ws := GetWorkspace(inst)
+	defer ws.Release()
+	dst := &Schedule{}
+	if err := ListScheduleResidualInto(ws, dst, inst, assign, prio, done); err != nil {
 		return nil, err
 	}
-	nt := inst.NTasks()
-	if prio == nil {
-		prio = make(Priorities, nt)
-	}
-	if len(prio) != nt {
-		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
-	}
-	if done != nil && len(done) != nt {
-		return nil, fmt.Errorf("sched: done set covers %d of %d tasks", len(done), nt)
-	}
-	isDone := func(t TaskID) bool { return done != nil && done[t] }
-
-	// Indegree over the residual sub-DAG: only edges between not-done tasks
-	// constrain the residual order.
-	n := int32(inst.N())
-	indeg := make([]int32, nt)
-	remaining := 0
-	for i, d := range inst.DAGs {
-		base := int32(i) * n
-		for v := int32(0); v < n; v++ {
-			t := TaskID(base + v)
-			if isDone(t) {
-				continue
-			}
-			remaining++
-			for _, u := range d.In(v) {
-				if !isDone(TaskID(base + u)) {
-					indeg[t]++
-				}
-			}
-		}
-	}
-
-	heaps := make([]taskHeap, inst.M)
-	for p := range heaps {
-		heaps[p].prio = prio
-	}
-	for t := 0; t < nt; t++ {
-		if !isDone(TaskID(t)) && indeg[t] == 0 {
-			v, _ := inst.Split(TaskID(t))
-			heaps[assign[v]].ids = append(heaps[assign[v]].ids, TaskID(t))
-		}
-	}
-	for p := range heaps {
-		heap.Init(&heaps[p])
-	}
-
-	start := make([]int32, nt)
-	for i := range start {
-		start[i] = -1
-	}
-	completedAtStep := make([]TaskID, 0, inst.M)
-	makespan := int32(0)
-	for step := int32(0); remaining > 0; step++ {
-		completedAtStep = completedAtStep[:0]
-		for p := 0; p < inst.M; p++ {
-			h := &heaps[p]
-			if h.Len() == 0 {
-				continue
-			}
-			t := heap.Pop(h).(TaskID)
-			start[t] = step
-			remaining--
-			completedAtStep = append(completedAtStep, t)
-		}
-		if len(completedAtStep) == 0 {
-			return nil, fmt.Errorf("sched: residual deadlock at step %d with %d tasks remaining (done set not precedence-consistent?)", step, remaining)
-		}
-		for _, t := range completedAtStep {
-			v, i := inst.Split(t)
-			base := TaskID(i * n)
-			for _, w := range inst.DAGs[i].Out(v) {
-				wt := base + TaskID(w)
-				if isDone(wt) {
-					continue
-				}
-				indeg[wt]--
-				if indeg[wt] == 0 {
-					heap.Push(&heaps[assign[w]], wt)
-				}
-			}
-		}
-		makespan = step + 1
-	}
-	return &Schedule{Inst: inst, Assign: assign, Start: start, Makespan: int(makespan)}, nil
+	return dst, nil
 }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -117,23 +116,63 @@ type completionEvent struct {
 	proc int32
 }
 
+// eventHeap is a typed, slice-backed 4-ary min-heap of completion events
+// ordered by (time, task) — the event-driven analogue of heap4, with the
+// same no-boxing layout.
 type eventHeap []completionEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(a, b int) bool {
-	if h[a].time != h[b].time {
-		return h[a].time < h[b].time
+func (h eventHeap) less(a, b completionEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[a].task < h[b].task
+	return a.task < b.task
 }
-func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(completionEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(e completionEvent) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !s.less(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() completionEvent {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	n := len(s)
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(s[c], s[best]) {
+				best = c
+			}
+		}
+		if !s.less(s[best], s[i]) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
 }
 
 // ListScheduleWeighted runs event-driven priority list scheduling with
@@ -165,9 +204,9 @@ func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, we
 		}
 	}
 
-	ready := make([]taskHeap, inst.M)
+	ready := make([]heap4, inst.M)
 	for p := range ready {
-		ready[p].prio = prio
+		ready[p].reset(prio)
 	}
 	busy := make([]bool, inst.M)
 	start := make([]int64, nt)
@@ -179,21 +218,21 @@ func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, we
 	remaining := nt
 
 	tryStart := func(p int32, now int64) {
-		if busy[p] || ready[p].Len() == 0 {
+		if busy[p] || ready[p].len() == 0 {
 			return
 		}
-		t := heap.Pop(&ready[p]).(TaskID)
+		t := ready[p].pop()
 		v, _ := inst.Split(t)
 		start[t] = now
 		finish[t] = now + int64(weights[v])
 		busy[p] = true
-		heap.Push(&events, completionEvent{time: finish[t], task: t, proc: p})
+		events.push(completionEvent{time: finish[t], task: t, proc: p})
 	}
 
 	for t := 0; t < nt; t++ {
 		if indeg[t] == 0 {
 			v, _ := inst.Split(TaskID(t))
-			heap.Push(&ready[assign[v]], TaskID(t))
+			ready[assign[v]].push(TaskID(t))
 		}
 	}
 	for p := int32(0); p < int32(inst.M); p++ {
@@ -204,13 +243,13 @@ func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, we
 	// at that time, so priority choices see every task the moment makes
 	// ready — the same semantics as the step-driven unit scheduler.
 	touched := make([]bool, inst.M)
-	for events.Len() > 0 {
+	for len(events) > 0 {
 		now := events[0].time
 		for p := range touched {
 			touched[p] = false
 		}
-		for events.Len() > 0 && events[0].time == now {
-			ev := heap.Pop(&events).(completionEvent)
+		for len(events) > 0 && events[0].time == now {
+			ev := events.pop()
 			remaining--
 			busy[ev.proc] = false
 			touched[ev.proc] = true
@@ -222,7 +261,7 @@ func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, we
 				if indeg[wt] == 0 {
 					wv, _ := inst.Split(wt)
 					p := assign[wv]
-					heap.Push(&ready[p], wt)
+					ready[p].push(wt)
 					touched[p] = true
 				}
 			}

@@ -1,0 +1,460 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Workspace is the reusable scratch arena of the scheduling kernel:
+// indegree counters, the rank-bitmap ready set of the static-priority
+// kernels, per-processor typed ready heaps (greedy and residual paths),
+// the release calendar, the per-step completion buffer, and
+// caller-visible priority/release scratch. One warm workspace makes
+// ListScheduleInto,
+// CommScheduleInto and ListScheduleResidualInto allocate nothing — the
+// paper's experiments run the list scheduler thousands of times per
+// instance shape (once per heuristic × delay draw × seed), and the
+// per-call make/map/boxing traffic of the original kernel was the
+// dominant cost of those trial loops.
+//
+// A Workspace is not safe for concurrent use; parallel trial loops draw
+// one each from the shape-keyed pool (GetWorkspace/Release).
+type Workspace struct {
+	indeg     []int32
+	readyAt   []int32
+	heaps     []heap4
+	rq        rankq
+	cal       calendar
+	completed []TaskID
+	// zeroPrio backs nil-priority runs. The kernel never writes
+	// priorities, so it stays all-zero across reuses.
+	zeroPrio Priorities
+	// prioBuf and int32Buf are caller scratch (PrioBuf/Int32Buf) for
+	// building priorities and release times without per-trial allocation.
+	prioBuf  Priorities
+	int32Buf []int32
+
+	key wsKey
+}
+
+// NewWorkspace returns an empty workspace; it grows to fit the first
+// instance it schedules and is warm from the second call on. Callers
+// running trial loops should prefer GetWorkspace, which recycles
+// workspaces across goroutines per instance shape.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// wsKey identifies an instance shape for workspace pooling.
+type wsKey struct {
+	nt, m int
+}
+
+// wsPools holds one sync.Pool of warm workspaces per instance shape
+// (task count, processor count). Keying by shape keeps every pooled
+// workspace exactly warm for its instance: a trial loop's Get returns
+// scratch already sized for the loop's instance, never scratch inflated
+// by an unrelated larger run.
+var wsPools sync.Map // wsKey -> *sync.Pool
+
+// GetWorkspace draws a workspace warm for the instance's shape from the
+// pool. Pair it with Release.
+func GetWorkspace(inst *Instance) *Workspace {
+	key := wsKey{inst.NTasks(), inst.M}
+	p, ok := wsPools.Load(key)
+	if !ok {
+		p, _ = wsPools.LoadOrStore(key, &sync.Pool{})
+	}
+	ws, _ := p.(*sync.Pool).Get().(*Workspace)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.key = key
+	return ws
+}
+
+// Release returns the workspace to its shape's pool. The workspace must
+// not be used afterwards; schedules it produced remain valid (they never
+// alias workspace memory).
+func (ws *Workspace) Release() {
+	if ws.key == (wsKey{}) {
+		return // not pool-managed (NewWorkspace)
+	}
+	if p, ok := wsPools.Load(ws.key); ok {
+		p.(*sync.Pool).Put(ws)
+	}
+}
+
+// PrioBuf returns a length-nt priority scratch slice owned by the
+// workspace, for callers that build per-trial priorities (e.g. level +
+// random delay) without allocating. Contents are unspecified; the caller
+// overwrites every entry. The kernel only reads priorities, so the buffer
+// may be passed straight to the Into entry points.
+func (ws *Workspace) PrioBuf(nt int) Priorities {
+	if cap(ws.prioBuf) < nt {
+		ws.prioBuf = make(Priorities, nt)
+	}
+	ws.prioBuf = ws.prioBuf[:nt]
+	return ws.prioBuf
+}
+
+// Int32Buf returns a length-n int32 scratch slice owned by the workspace,
+// for per-trial release times or layer indices. Contents are unspecified.
+func (ws *Workspace) Int32Buf(n int) []int32 {
+	if cap(ws.int32Buf) < n {
+		ws.int32Buf = make([]int32, n)
+	}
+	ws.int32Buf = ws.int32Buf[:n]
+	return ws.int32Buf
+}
+
+// ensure grows the kernel scratch to the instance's shape. After the
+// first call for a shape, subsequent calls for the same (or smaller)
+// shape allocate nothing.
+func (ws *Workspace) ensure(inst *Instance) {
+	nt, m := inst.NTasks(), inst.M
+	if cap(ws.indeg) < nt {
+		ws.indeg = make([]int32, nt)
+	}
+	ws.indeg = ws.indeg[:nt]
+	if cap(ws.readyAt) < nt {
+		ws.readyAt = make([]int32, nt)
+	}
+	ws.readyAt = ws.readyAt[:nt]
+	if cap(ws.zeroPrio) < nt {
+		ws.zeroPrio = make(Priorities, nt)
+	}
+	ws.zeroPrio = ws.zeroPrio[:nt]
+	for len(ws.heaps) < m {
+		ws.heaps = append(ws.heaps, heap4{})
+	}
+	if cap(ws.completed) < m {
+		ws.completed = make([]TaskID, 0, m)
+	}
+}
+
+// checkListArgs validates the shared argument contract of the kernels
+// and resolves a nil priority slice to the workspace's all-zero scratch.
+func (ws *Workspace) checkListArgs(inst *Instance, assign Assignment, prio Priorities) (Priorities, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		ws.ensure(inst)
+		return ws.zeroPrio, nil
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	ws.ensure(inst)
+	return prio, nil
+}
+
+// ensureStart sizes dst.Start for nt tasks, reusing its backing array
+// when the destination schedule is recycled across trials.
+func ensureStart(dst *Schedule, nt int) []int32 {
+	if cap(dst.Start) < nt {
+		dst.Start = make([]int32, nt)
+	}
+	dst.Start = dst.Start[:nt]
+	return dst.Start
+}
+
+// fillIndeg loads every task's DAG indegree into the workspace.
+func (ws *Workspace) fillIndeg(inst *Instance) {
+	n := int32(inst.N())
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			ws.indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+}
+
+// ListScheduleInto is the allocation-free core of priority list
+// scheduling with optional per-task release times (§3 "List Scheduling";
+// release times implement the §5.2 random-delay combinations). It writes
+// the schedule into dst, reusing dst.Start's backing array, and uses ws
+// for every piece of transient state. On a warm workspace (same or
+// larger instance shape seen before) and a recycled dst it performs zero
+// heap allocations. The produced schedule is bitwise-identical to
+// ListScheduleWithRelease's for the same inputs.
+//
+// dst must not alias a schedule still in use: its contents are
+// overwritten. A nil release means all zeros; a nil prio means all equal
+// with TaskID tie-breaks.
+func ListScheduleInto(ws *Workspace, dst *Schedule, inst *Instance, assign Assignment, prio Priorities, release []int32) error {
+	nt := inst.NTasks()
+	if release != nil && len(release) != nt {
+		return fmt.Errorf("sched: %d release times for %d tasks", len(release), nt)
+	}
+	prio, err := ws.checkListArgs(inst, assign, prio)
+	if err != nil {
+		return err
+	}
+	n := int32(inst.N())
+	ws.fillIndeg(inst)
+	indeg := ws.indeg
+	m := inst.M
+	rq := &ws.rq
+	rq.build(prio, nt, m, assign, n)
+	rq.reset()
+	cal := &ws.cal
+	var maxRel int32
+	if release != nil {
+		for _, r := range release {
+			if r > maxRel {
+				maxRel = r
+			}
+		}
+	}
+	cal.prepare(maxRel)
+
+	for t := TaskID(0); t < TaskID(nt); t++ {
+		if indeg[t] != 0 {
+			continue
+		}
+		if release != nil && release[t] > 0 {
+			cal.push(t, release[t])
+		} else {
+			rq.push(assign[int32(t)%n], t)
+		}
+	}
+
+	start := ensureStart(dst, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completed := ws.completed[:0]
+
+	for step := int32(0); remaining > 0; step++ {
+		if cal.pending > 0 {
+			for _, t := range cal.due(step) {
+				rq.push(assign[int32(t)%n], t)
+			}
+			cal.clearDue(step)
+		}
+		completed = completed[:0]
+		for p := int32(0); p < int32(m); p++ {
+			if rq.count[p] == 0 {
+				continue
+			}
+			t := rq.pop(p)
+			start[t] = step
+			remaining--
+			completed = append(completed, t)
+		}
+		if len(completed) == 0 && cal.pending == 0 {
+			ws.completed = completed
+			return fmt.Errorf("sched: deadlock at step %d with %d tasks remaining", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					if release != nil && release[wt] > step+1 {
+						cal.push(wt, release[wt])
+					} else {
+						rq.push(assign[w], wt)
+					}
+				}
+			}
+		}
+	}
+	ws.completed = completed[:0]
+	dst.Inst, dst.Assign = inst, assign
+	dst.computeMakespan()
+	return nil
+}
+
+// CommScheduleInto is the allocation-free core of list scheduling under
+// the uniform communication-delay model (§3): a cross-processor edge
+// delays its successor by commDelay extra steps. Semantics and output
+// match ListScheduleComm bit for bit; allocation behaviour matches
+// ListScheduleInto (zero on a warm workspace and recycled dst).
+func CommScheduleInto(ws *Workspace, dst *Schedule, inst *Instance, assign Assignment, prio Priorities, commDelay int) error {
+	if commDelay < 0 {
+		return fmt.Errorf("sched: negative communication delay %d", commDelay)
+	}
+	prio, err := ws.checkListArgs(inst, assign, prio)
+	if err != nil {
+		return err
+	}
+	nt := inst.NTasks()
+	n := int32(inst.N())
+	ws.fillIndeg(inst)
+	indeg := ws.indeg
+	readyAt := ws.readyAt
+	clear(readyAt)
+	m := inst.M
+	rq := &ws.rq
+	rq.build(prio, nt, m, assign, n)
+	rq.reset()
+	cd := int32(commDelay)
+	cal := &ws.cal
+	// A successor made available at step s has readyAt at most s+cd, so
+	// in-flight due steps span at most cd+1 steps ahead of the drain.
+	cal.prepare(cd + 1)
+
+	for t := TaskID(0); t < TaskID(nt); t++ {
+		if indeg[t] == 0 {
+			rq.push(assign[int32(t)%n], t)
+		}
+	}
+
+	start := ensureStart(dst, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completed := ws.completed[:0]
+
+	for step := int32(0); remaining > 0; step++ {
+		if cal.pending > 0 {
+			for _, t := range cal.due(step) {
+				rq.push(assign[int32(t)%n], t)
+			}
+			cal.clearDue(step)
+		}
+		completed = completed[:0]
+		for p := int32(0); p < int32(m); p++ {
+			if rq.count[p] == 0 {
+				continue
+			}
+			t := rq.pop(p)
+			start[t] = step
+			remaining--
+			completed = append(completed, t)
+		}
+		if len(completed) == 0 && cal.pending == 0 {
+			ws.completed = completed
+			return fmt.Errorf("sched: comm-delay deadlock at step %d with %d remaining", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			p := assign[v]
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				avail := step + 1
+				if assign[w] != p {
+					avail += cd
+				}
+				if avail > readyAt[wt] {
+					readyAt[wt] = avail
+				}
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					if readyAt[wt] > step+1 {
+						cal.push(wt, readyAt[wt])
+					} else {
+						rq.push(assign[w], wt)
+					}
+				}
+			}
+		}
+	}
+	ws.completed = completed[:0]
+	dst.Inst, dst.Assign = inst, assign
+	dst.computeMakespan()
+	return nil
+}
+
+// ListScheduleResidualInto is the allocation-free core of recovery
+// rescheduling (internal/faults): list scheduling restricted to the
+// tasks with !done[t], done tasks treated as finished before step 0.
+// Output matches ListScheduleResidual bit for bit; done tasks keep
+// Start = -1 and Makespan covers only residual steps (the result is an
+// execution plan, not a Validate-able full schedule). Zero allocations
+// on a warm workspace and recycled dst.
+func ListScheduleResidualInto(ws *Workspace, dst *Schedule, inst *Instance, assign Assignment, prio Priorities, done []bool) error {
+	nt := inst.NTasks()
+	if done != nil && len(done) != nt {
+		return fmt.Errorf("sched: done set covers %d of %d tasks", len(done), nt)
+	}
+	prio, err := ws.checkListArgs(inst, assign, prio)
+	if err != nil {
+		return err
+	}
+	isDone := func(t TaskID) bool { return done != nil && done[t] }
+
+	// Indegree over the residual sub-DAG: only edges between not-done
+	// tasks constrain the residual order.
+	n := int32(inst.N())
+	indeg := ws.indeg
+	clear(indeg)
+	remaining := 0
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			t := TaskID(base + v)
+			if isDone(t) {
+				continue
+			}
+			remaining++
+			for _, u := range d.In(v) {
+				if !isDone(TaskID(base + u)) {
+					indeg[t]++
+				}
+			}
+		}
+	}
+
+	heaps := ws.heaps[:inst.M]
+	for p := range heaps {
+		heaps[p].reset(prio)
+	}
+	for t := TaskID(0); t < TaskID(nt); t++ {
+		if !isDone(t) && indeg[t] == 0 {
+			heaps[assign[int32(t)%n]].appendUnordered(t)
+		}
+	}
+	for p := range heaps {
+		heaps[p].initHeap()
+	}
+
+	start := ensureStart(dst, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	completed := ws.completed[:0]
+	makespan := int32(0)
+	for step := int32(0); remaining > 0; step++ {
+		completed = completed[:0]
+		for p := range heaps {
+			if heaps[p].len() == 0 {
+				continue
+			}
+			t := heaps[p].pop()
+			start[t] = step
+			remaining--
+			completed = append(completed, t)
+		}
+		if len(completed) == 0 {
+			ws.completed = completed
+			return fmt.Errorf("sched: residual deadlock at step %d with %d tasks remaining (done set not precedence-consistent?)", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			base := TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + TaskID(w)
+				if isDone(wt) {
+					continue
+				}
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					heaps[assign[w]].push(wt)
+				}
+			}
+		}
+		makespan = step + 1
+	}
+	ws.completed = completed[:0]
+	dst.Inst, dst.Assign = inst, assign
+	dst.Makespan = int(makespan)
+	return nil
+}
