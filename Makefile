@@ -3,10 +3,17 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience fuzz bench bench-record benchstat bench-smoke
+.PHONY: check ci race resilience fuzz bench bench-record benchstat bench-smoke verify
 
 check:
 	$(GO) build ./... && $(GO) test ./...
+
+# The whole suite with runtime schedule auditing forced on: every
+# schedule produced anywhere is re-checked by internal/verify
+# (precedence, exclusivity, copies, metrics, recovery accounting).
+# -count=1 defeats the test cache so the audited paths really run.
+verify:
+	SWEEPSCHED_VERIFY=1 $(GO) test -count=1 ./...
 
 race:
 	$(GO) test -race ./...

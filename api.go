@@ -37,6 +37,7 @@ import (
 	"sweepsched/internal/heuristics"
 	"sweepsched/internal/lb"
 	"sweepsched/internal/mesh"
+	"sweepsched/internal/obs"
 	"sweepsched/internal/opt"
 	"sweepsched/internal/partition"
 	"sweepsched/internal/quadrature"
@@ -46,7 +47,17 @@ import (
 	"sweepsched/internal/synth"
 	"sweepsched/internal/trace"
 	"sweepsched/internal/transport"
+	"sweepsched/internal/verify"
 )
+
+// StatsCollector aggregates counters, gauges and timers from scheduling
+// runs and solves; attach one via ScheduleOptions.Collector (or the
+// corresponding experiment/transport config fields) and render it with
+// Snapshot().WriteText or WriteJSON. See internal/obs.
+type StatsCollector = obs.Collector
+
+// NewStatsCollector returns an empty collector, safe for concurrent use.
+func NewStatsCollector() *StatsCollector { return obs.New() }
 
 // coreDelays draws the Algorithm 1/2 per-direction delays.
 func coreDelays(k int, r *rng.Source) []int32 { return core.Delays(k, r) }
@@ -203,7 +214,21 @@ type ScheduleOptions struct {
 	// substreams before any fan-out (see DESIGN.md, "Parallel execution &
 	// determinism").
 	Workers int
+	// Verify runs the internal/verify auditor over the produced schedule —
+	// an independent recomputation of every feasibility constraint and of
+	// the reported metrics — and fails the run if any invariant is
+	// violated. Off by default (it costs O(tasks+edges) extra per run);
+	// the SWEEPSCHED_VERIFY environment variable forces it on everywhere.
+	Verify bool
+	// Collector, when non-nil, receives counters and stage timings from
+	// the run (assignment, scheduling, metrics, verification and the
+	// kernel-level sched.* series). A nil collector costs nothing on the
+	// hot path.
+	Collector *obs.Collector
 }
+
+// verifyOn reports whether this run should be audited.
+func (o ScheduleOptions) verifyOn() bool { return o.Verify || verify.ForcedByEnv() }
 
 // Result is a completed scheduling run.
 type Result struct {
@@ -254,6 +279,7 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 	// The kernel's transient state comes from the shape-keyed pool; only
 	// the returned schedule (which escapes into the Result) is allocated.
 	ws := sched.GetWorkspace(p.inst)
+	ws.SetObserver(opts.Collector)
 	defer ws.Release()
 	s := &sched.Schedule{}
 	if err := sched.CommScheduleInto(ws, s, p.inst, assign, prio, commDelay); err != nil {
@@ -265,9 +291,15 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 	if err := sched.ValidateComm(s, commDelay); err != nil {
 		return nil, fmt.Errorf("sweepsched: comm-delay constraint violated: %w", err)
 	}
+	met := sched.Measure(s, opts.Workers)
+	if opts.verifyOn() {
+		if err := verify.Schedule(p.inst, s, verify.Opts{CommDelay: commDelay, Metrics: &met}); err != nil {
+			return nil, fmt.Errorf("sweepsched: comm schedule failed the audit: %w", err)
+		}
+	}
 	return &Result{
 		Schedule: s,
-		Metrics:  sched.Measure(s, opts.Workers),
+		Metrics:  met,
 		Ratio:    lb.Ratio(s.Makespan, p.inst),
 	}, nil
 }

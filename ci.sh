@@ -21,6 +21,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== verify: full suite with runtime schedule auditing forced on =="
+# SWEEPSCHED_VERIFY=1 routes every schedule produced by any test through
+# the internal/verify auditor; -count=1 defeats the test cache.
+SWEEPSCHED_VERIFY=1 go test -count=1 ./...
+
 echo "== resilience: executors under -race with a hard timeout =="
 # The fault-injection / recovery / cancellation suite must never hang: a
 # deadlocked coordinator or leaked worker turns into a test failure here.

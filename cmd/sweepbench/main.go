@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sweepsched/internal/experiments"
+	"sweepsched/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		workers    = flag.Int("workers", 0, "goroutines for experiment rows and per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
+		doVerify   = flag.Bool("verify", false, "audit every produced schedule with the internal/verify auditor (fails fast on the first violation)")
+		doStats    = flag.Bool("stats", false, "print accumulated counters and stage timings after the experiments")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,6 +87,10 @@ func main() {
 		Out:     os.Stdout,
 		CSV:     *csv,
 		Workers: *workers,
+		Verify:  *doVerify,
+	}
+	if *doStats {
+		cfg.Collector = obs.New()
 	}
 
 	names := []string{*exp}
@@ -101,6 +108,12 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Printf("# %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if cfg.Collector != nil {
+		fmt.Println("# stats")
+		if err := cfg.Collector.Snapshot().WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -42,6 +42,8 @@ func main() {
 		saveTrace  = flag.String("savetrace", "", "write the schedule trace to this path (view with sweepview)")
 		weighted   = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
 		workers    = flag.Int("workers", 0, "goroutines for per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
+		doVerify   = flag.Bool("verify", false, "audit the schedule with the internal/verify auditor (independent recomputation of every constraint and metric)")
+		doStats    = flag.Bool("stats", false, "print the run's counters and stage timings on exit")
 		doFaults   = flag.Bool("faults", false, "execute under an injected fault plan with checkpointed recovery")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the fault plan (independent of -seed)")
 		nCrash     = flag.Int("crash", 1, "processor crashes to inject (with -faults)")
@@ -106,7 +108,18 @@ func main() {
 	fmt.Printf("lower bounds: nk/m=%.1f k=%d D=%d (max %d)\n",
 		bounds.Load, bounds.PerCell, bounds.CriticalPath, bounds.Max())
 
-	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed, Workers: *workers}
+	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed, Workers: *workers, Verify: *doVerify}
+	var col *sweepsched.StatsCollector
+	if *doStats {
+		col = sweepsched.NewStatsCollector()
+		opts.Collector = col
+		defer func() {
+			fmt.Println("-- stats --")
+			if err := col.Snapshot().WriteText(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *weighted {
 		weights := sweepsched.LogNormalWeights(p.N(), 4, 0.75, *seed^0x57)
@@ -133,6 +146,9 @@ func main() {
 		res.Metrics.Makespan, res.Ratio, 100*res.Utilization())
 	fmt.Printf("  C1 (interprocessor edges) = %d\n", res.Metrics.C1)
 	fmt.Printf("  C2 (comm rounds)          = %d\n", res.Metrics.C2)
+	if *doVerify {
+		fmt.Println("  verify: schedule audit passed (precedence, exclusivity, copies, metrics)")
+	}
 
 	if *gantt {
 		if err := res.RenderGantt(os.Stdout, 16, 100); err != nil {
@@ -187,7 +203,7 @@ func main() {
 			sr.Steps, sr.TotalMessages, sr.CommRounds, res.Metrics.Makespan, rep.Penalty())
 		fmt.Println(rep)
 
-		cfg := sweepsched.TransportConfig{SigmaT: 1, SigmaS: 0.5, Source: 1}
+		cfg := sweepsched.TransportConfig{SigmaT: 1, SigmaS: 0.5, Source: 1, Verify: *doVerify, Collector: col}
 		serial, err := p.SolveTransport(res, cfg)
 		if err != nil {
 			fatal(err)

@@ -11,6 +11,7 @@ import (
 	"sweepsched/internal/sched"
 	"sweepsched/internal/simulate"
 	"sweepsched/internal/transport"
+	"sweepsched/internal/verify"
 )
 
 // FaultKind classifies an injected fault event.
@@ -60,7 +61,9 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	col := opts.Collector
 	r := rng.New(opts.Seed)
+	aspan := col.Span("api.assign.time")
 	var assign sched.Assignment
 	if opts.BlockSize <= 1 {
 		assign = sched.RandomAssignment(p.inst.N(), p.inst.M, r)
@@ -75,13 +78,22 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 		}
 		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
 	}
+	aspan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s, err := heuristics.Run(alg, p.inst, assign, r, opts.Workers)
-	if err != nil {
+	// The kernel's transient state comes from the shape-keyed pool; the
+	// collector rides on the workspace so the sched.* kernel series lands
+	// in the same snapshot as the api.* stage timings.
+	ws := sched.GetWorkspace(p.inst)
+	ws.SetObserver(col)
+	defer ws.Release()
+	s := &sched.Schedule{}
+	sspan := col.Span("api.schedule.time")
+	if err := heuristics.RunInto(ws, s, alg, p.inst, assign, r, opts.Workers); err != nil {
 		return nil, err
 	}
+	sspan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -91,9 +103,21 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	mspan := col.Span("api.metrics.time")
+	met := sched.Measure(s, opts.Workers)
+	mspan.End()
+	if opts.verifyOn() {
+		vspan := col.Span("api.verify.time")
+		err := verify.Schedule(p.inst, s, verify.Opts{Metrics: &met})
+		vspan.End()
+		if err != nil {
+			return nil, fmt.Errorf("sweepsched: scheduler %s failed the schedule audit: %w", alg, err)
+		}
+		col.Counter("api.verified").Inc()
+	}
 	return &Result{
 		Schedule: s,
-		Metrics:  sched.Measure(s, opts.Workers),
+		Metrics:  met,
 		Ratio:    lb.Ratio(s.Makespan, p.inst),
 	}, nil
 }

@@ -17,11 +17,13 @@ import (
 	"sweepsched/internal/geom"
 	"sweepsched/internal/lb"
 	"sweepsched/internal/mesh"
+	"sweepsched/internal/obs"
 	"sweepsched/internal/partition"
 	"sweepsched/internal/quadrature"
 	"sweepsched/internal/rng"
 	"sweepsched/internal/sched"
 	"sweepsched/internal/stats"
+	"sweepsched/internal/verify"
 )
 
 // Config controls workload sizes shared by all experiments.
@@ -44,6 +46,13 @@ type Config struct {
 	// C1/C2 accumulation) of each run (0 = GOMAXPROCS). Output is
 	// identical regardless.
 	Workers int
+	// Verify audits every schedule an experiment produces with
+	// internal/verify and fails the experiment on the first violation.
+	// The SWEEPSCHED_VERIFY environment variable forces it on.
+	Verify bool
+	// Collector, when non-nil, accumulates trial counters and stage
+	// timings across the experiment's runs.
+	Collector *obs.Collector
 }
 
 // render writes a finished table in the configured format.
@@ -66,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Out == nil {
 		c.Out = io.Discard
+	}
+	if verify.ForcedByEnv() {
+		c.Verify = true
 	}
 	return c
 }
@@ -203,6 +215,13 @@ func meanMakespanRatio(cfg Config, inst *sched.Instance, seedTag uint64,
 		s, err := fn(r)
 		if err != nil {
 			return 0, 0, err
+		}
+		cfg.Collector.Counter("experiments.trials").Inc()
+		if cfg.Verify {
+			if err := verify.Schedule(inst, s, verify.Opts{}); err != nil {
+				return 0, 0, fmt.Errorf("experiments: trial %d failed the schedule audit: %w", trial, err)
+			}
+			cfg.Collector.Counter("experiments.verified").Inc()
 		}
 		sumMs += float64(s.Makespan)
 		sumRatio += lb.Ratio(s.Makespan, inst)

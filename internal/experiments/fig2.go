@@ -7,6 +7,7 @@ import (
 	"sweepsched/internal/rng"
 	"sweepsched/internal/sched"
 	"sweepsched/internal/stats"
+	"sweepsched/internal/verify"
 )
 
 // fig2BlockSizes are the assignment granularities compared in Figure 2:
@@ -109,6 +110,13 @@ func Fig2b(cfg Config) error {
 					return err
 				}
 				met := sched.Measure(s, cfg.Workers)
+				if cfg.Verify {
+					// Metrics cross-check: the table's C1/C2 must match the
+					// auditor's serial recomputation.
+					if err := verify.Schedule(inst, s, verify.Opts{Metrics: &met}); err != nil {
+						return fmt.Errorf("experiments: fig2b m=%d bs=%d trial %d: %w", m, bs, trial, err)
+					}
+				}
 				sum1 += met.C1
 				sum2 += met.C2
 			}

@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"sweepsched/internal/lb"
+	"sweepsched/internal/obs"
 	"sweepsched/internal/sched"
+	"sweepsched/internal/verify"
 )
 
 // Compute produces the angular flux of one task from its averaged upwind
@@ -92,6 +94,39 @@ type Engine struct {
 	ws    *sched.Workspace
 	full  sched.Schedule
 	resid sched.Schedule
+
+	// col receives execution counters (nil = off); audit runs the
+	// internal/verify residual auditor over every recovery reschedule.
+	col   *obs.Collector
+	audit bool
+}
+
+// Observe attaches a stats collector: the engine reports epochs,
+// recoveries, replays and live processors, and the workspace forwards
+// the sched.* kernel series for the residual reschedules. A nil
+// collector detaches.
+func (e *Engine) Observe(col *obs.Collector) {
+	e.col = col
+	e.ws.SetObserver(col)
+}
+
+// SetVerify toggles auditing of every recovery reschedule with
+// verify.Residual (a failed audit aborts the sweep with its diagnostic).
+// Defaults to off unless SWEEPSCHED_VERIFY forces it.
+func (e *Engine) SetVerify(on bool) { e.audit = on }
+
+// Audit cross-checks the engine's accumulated accounting for internal
+// consistency (verify.Recovery). Call it after the run completes.
+func (e *Engine) Audit() error {
+	r := e.Report()
+	return verify.Recovery(verify.RecoveryStats{
+		Procs:   e.inst.M,
+		Crashes: r.Crashes, Drops: r.Drops, Delays: r.Delays, Duplicates: r.Duplicates,
+		Epochs: r.Epochs, Recoveries: r.Recoveries, TasksReplayed: r.TasksReplayed,
+		StepsExecuted: r.StepsExecuted, StepsFaultFree: r.StepsFaultFree,
+		MessagesSent: r.MessagesSent, CommRounds: r.CommRounds,
+		DeadProcs: r.DeadProcs,
+	})
 }
 
 // NewEngine prepares a fault-injected executor for the schedule. plan may
@@ -116,6 +151,7 @@ func NewEngine(s *sched.Schedule, plan *Plan) (*Engine, error) {
 		sinceCkpt: make([][]sched.TaskID, inst.M),
 		ckptEvery: Spec{}.withDefaults().CheckpointEvery,
 		ws:        sched.NewWorkspace(),
+		audit:     verify.ForcedByEnv(),
 	}
 	for p := range e.live {
 		e.live[p] = true
@@ -166,6 +202,11 @@ func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) erro
 		if err := sched.ListScheduleResidualInto(e.ws, &e.full, e.inst, e.assign, e.prio, nil); err != nil {
 			return err
 		}
+		if e.audit {
+			if err := verify.Residual(e.inst, &e.full, nil); err != nil {
+				return fmt.Errorf("faults: post-crash rebuild failed the audit: %w", err)
+			}
+		}
 		e.cur = &e.full
 		e.needRebuild = false
 	}
@@ -195,9 +236,17 @@ func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) erro
 				return &UnrecoverableError{DeadProcs: e.Report().DeadProcs, Remaining: remaining}
 			}
 			e.report.Recoveries++
+			e.col.Counter("faults.recoveries").Inc()
 			e.report.LastResidualBound = lb.ResidualLoad(remaining, e.nLive)
 			if err := sched.ListScheduleResidualInto(e.ws, &e.resid, e.inst, e.assign, e.prio, done); err != nil {
 				return err
+			}
+			if e.audit {
+				// done is exact at this barrier: the residual schedule must
+				// cover precisely the survivors.
+				if err := verify.Residual(e.inst, &e.resid, done); err != nil {
+					return fmt.Errorf("faults: recovery reschedule failed the audit: %w", err)
+				}
 			}
 			cur = &e.resid
 		}
@@ -233,6 +282,8 @@ func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
 	compute Compute, psi []float64, remaining int) (int, epochEnd, error) {
 
 	e.report.Epochs++
+	e.col.Counter("faults.epochs").Inc()
+	e.col.Gauge("faults.live_procs").Set(int64(e.nLive))
 	inst := e.inst
 	m := inst.M
 	nt := inst.NTasks()
@@ -486,10 +537,12 @@ func (e *Engine) applyCrashes(dying []int32, done []bool, remaining int) int {
 				done[t] = false
 				remaining++
 				e.report.TasksReplayed++
+				e.col.Counter("faults.tasks_replayed").Inc()
 			}
 		}
 		e.sinceCkpt[p] = nil
 	}
+	e.col.Counter("faults.crashes").Add(int64(len(dying)))
 	for p := range e.sinceCkpt {
 		e.sinceCkpt[p] = e.sinceCkpt[p][:0]
 	}

@@ -235,6 +235,10 @@ func Run(name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source
 // ImprovedDelays) still build their schedule afresh and copy the header
 // into dst.
 func RunInto(ws *sched.Workspace, dst *sched.Schedule, name Name, inst *sched.Instance, assign sched.Assignment, r *rng.Source, workers int) error {
+	// Spans/counters no-op when no collector is attached (ws.SetObserver).
+	col := ws.Observer()
+	defer col.Span("heuristics.run.time").End()
+	col.Counter("heuristics.runs").Inc()
 	nt := inst.NTasks()
 	switch name {
 	case RandomDelays:

@@ -11,16 +11,21 @@ import (
 	"time"
 )
 
+// settleDeadline is how long Check waits for the goroutine count to
+// return to its pre-call level. A package variable so the failure path
+// can be exercised quickly in tests.
+var settleDeadline = 2 * time.Second
+
 // Check runs fn and then waits for the goroutine count to settle back to
 // its pre-call level, failing the test with a full stack dump if it does
-// not within two seconds. The settle loop tolerates goroutines that are
-// mid-exit when fn returns (a worker that has passed its final channel
-// receive but not yet been descheduled).
+// not within settleDeadline. The settle loop tolerates goroutines that
+// are mid-exit when fn returns (a worker that has passed its final
+// channel receive but not yet been descheduled).
 func Check(t testing.TB, fn func()) {
 	t.Helper()
 	before := runtime.NumGoroutine()
 	fn()
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(settleDeadline)
 	for runtime.NumGoroutine() > before {
 		if time.Now().After(deadline) {
 			buf := make([]byte, 1<<20)

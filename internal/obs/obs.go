@@ -1,0 +1,267 @@
+// Package obs is the observability layer of the scheduling pipeline:
+// named counters, gauges and timers aggregated in a Collector, plus
+// stage-scoped spans for the pipeline phases (DAG build, priorities,
+// schedule kernel, metrics, recovery epochs), rendered as deterministic
+// text or JSON snapshots.
+//
+// The design goal is zero allocations on hot paths. Every method is
+// nil-safe: a nil *Collector (observability off) makes every operation a
+// no-op branch, so kernels can be instrumented unconditionally. With a
+// live Collector, a warm update is one lock-free map read plus one
+// atomic add — the sched package's TestScheduleIntoZeroAllocs asserts
+// that a warm ListScheduleInto with an attached Collector still performs
+// zero heap allocations. Metric handles (Counter, Gauge, Timer) are
+// created on first use and may be cached by callers; they remain valid
+// for the Collector's lifetime.
+//
+// All operations are safe for concurrent use. Snapshots are rendered
+// with metrics sorted by name and a fixed field order, so two snapshots
+// of collectors holding the same values serialize byte-identically
+// (timer durations are wall-clock measurements and inherently vary; the
+// rendering, not the timing, is what is deterministic).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector aggregates named metrics. The zero value is NOT ready for
+// use — call New. A nil *Collector is valid everywhere and disables
+// collection: every method returns a nil handle or no-ops.
+type Collector struct {
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	timers   sync.Map // string -> *Timer
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Counter returns the named monotone counter, creating it on first use.
+// Returns nil (a valid no-op handle) when c is nil.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	if v, ok := c.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := c.counters.LoadOrStore(name, new(Counter))
+	return v.(*Counter)
+}
+
+// Gauge returns the named last-value gauge, creating it on first use.
+// Returns nil (a valid no-op handle) when c is nil.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	if v, ok := c.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := c.gauges.LoadOrStore(name, new(Gauge))
+	return v.(*Gauge)
+}
+
+// Timer returns the named duration accumulator, creating it on first
+// use. Returns nil (a valid no-op handle) when c is nil.
+func (c *Collector) Timer(name string) *Timer {
+	if c == nil {
+		return nil
+	}
+	if v, ok := c.timers.Load(name); ok {
+		return v.(*Timer)
+	}
+	v, _ := c.timers.LoadOrStore(name, new(Timer))
+	return v.(*Timer)
+}
+
+// Span starts a stage-scoped measurement recorded under the named timer
+// when End is called. Span is a value type: the usual pattern
+//
+//	span := col.Span("sched.kernel.list")
+//	... hot work ...
+//	span.End()
+//
+// allocates nothing (no defer closure, no boxing). On a nil collector
+// the returned span is inert.
+func (c *Collector) Span(name string) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{t: c.Timer(name), start: time.Now()}
+}
+
+// Counter is a monotone atomic counter. A nil *Counter no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge records a last-written value. A nil *Gauge no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the stored value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates observation count and total duration. A nil *Timer
+// no-ops.
+type Timer struct{ count, nanos atomic.Int64 }
+
+// Observe records one measurement of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.count.Add(1)
+		t.nanos.Add(int64(d))
+	}
+}
+
+// Count returns the number of observations (0 on a nil timer).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration (0 on a nil timer).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.nanos.Load())
+}
+
+// Span is an in-flight stage measurement; see Collector.Span. The zero
+// Span is inert.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// End records the elapsed time since the span started. Calling End on
+// an inert span is a no-op; calling it twice records twice.
+func (s Span) End() {
+	if s.t != nil {
+		s.t.Observe(time.Since(s.start))
+	}
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// TimerValue is one timer in a snapshot. TotalNanos is the accumulated
+// wall time across Count observations.
+type TimerValue struct {
+	Name       string `json:"name"`
+	Count      int64  `json:"count"`
+	TotalNanos int64  `json:"total_nanos"`
+}
+
+// Snapshot is a point-in-time copy of a collector's metrics, each slice
+// sorted by name. Field and element order are deterministic, so two
+// snapshots with equal values render byte-identically.
+type Snapshot struct {
+	Counters []CounterValue `json:"counters"`
+	Gauges   []GaugeValue   `json:"gauges"`
+	Timers   []TimerValue   `json:"timers"`
+}
+
+// Snapshot copies the current metric values out of the collector. A nil
+// collector yields an empty snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	var s Snapshot
+	if c == nil {
+		return s
+	}
+	c.counters.Range(func(k, v any) bool {
+		s.Counters = append(s.Counters, CounterValue{k.(string), v.(*Counter).Value()})
+		return true
+	})
+	c.gauges.Range(func(k, v any) bool {
+		s.Gauges = append(s.Gauges, GaugeValue{k.(string), v.(*Gauge).Value()})
+		return true
+	})
+	c.timers.Range(func(k, v any) bool {
+		t := v.(*Timer)
+		s.Timers = append(s.Timers, TimerValue{k.(string), t.Count(), int64(t.Total())})
+		return true
+	})
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Timers, func(i, j int) bool { return s.Timers[i].Name < s.Timers[j].Name })
+	return s
+}
+
+// WriteText renders the snapshot as one line per metric:
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	timer <name> count=<n> total=<duration>
+//
+// Metrics appear in the snapshot's (sorted) order.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge %s %d\n", g.Name, g.Value)
+	}
+	for _, t := range s.Timers {
+		fmt.Fprintf(&b, "timer %s count=%d total=%s\n", t.Name, t.Count, time.Duration(t.TotalNanos))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the snapshot as indented JSON with a trailing
+// newline. Element order follows the snapshot's sorted slices.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimer(t *testing.T) {
+	c := New()
+	c.Counter("runs").Add(3)
+	c.Counter("runs").Inc()
+	if got := c.Counter("runs").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	c.Gauge("live").Set(7)
+	c.Gauge("live").Set(5)
+	if got := c.Gauge("live").Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	c.Timer("stage").Observe(2 * time.Millisecond)
+	c.Timer("stage").Observe(3 * time.Millisecond)
+	if got := c.Timer("stage").Count(); got != 2 {
+		t.Fatalf("timer count = %d, want 2", got)
+	}
+	if got := c.Timer("stage").Total(); got != 5*time.Millisecond {
+		t.Fatalf("timer total = %v, want 5ms", got)
+	}
+}
+
+// TestNilSafety: every operation on a nil Collector and on nil metric
+// handles must be a no-op, so instrumented code never branches on
+// whether observability is on.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	c.Counter("x").Add(1)
+	c.Counter("x").Inc()
+	if c.Counter("x").Value() != 0 {
+		t.Fatal("nil counter value != 0")
+	}
+	c.Gauge("x").Set(1)
+	if c.Gauge("x").Value() != 0 {
+		t.Fatal("nil gauge value != 0")
+	}
+	c.Timer("x").Observe(time.Second)
+	if c.Timer("x").Count() != 0 || c.Timer("x").Total() != 0 {
+		t.Fatal("nil timer not zero")
+	}
+	span := c.Span("x")
+	span.End()
+	(Span{}).End()
+	snap := c.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Timers) != 0 {
+		t.Fatal("nil collector snapshot not empty")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot rendered %q", buf.String())
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	c := New()
+	span := c.Span("stage")
+	time.Sleep(time.Millisecond)
+	span.End()
+	tm := c.Timer("stage")
+	if tm.Count() != 1 {
+		t.Fatalf("span recorded %d observations, want 1", tm.Count())
+	}
+	if tm.Total() <= 0 {
+		t.Fatalf("span total = %v, want > 0", tm.Total())
+	}
+}
+
+// TestSnapshotDeterministic: snapshots sort by name and render with a
+// fixed format, so equal values serialize byte-identically regardless
+// of metric creation or update order.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) *Collector {
+		c := New()
+		for _, name := range order {
+			c.Counter(name).Add(int64(len(name)))
+		}
+		c.Gauge("g").Set(9)
+		c.Timer("t").Observe(42 * time.Nanosecond)
+		return c
+	}
+	a := build([]string{"zeta", "alpha", "mid"})
+	b := build([]string{"mid", "zeta", "alpha"})
+
+	var ta, tb, ja, jb bytes.Buffer
+	if err := a.Snapshot().WriteText(&ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if ta.String() != tb.String() {
+		t.Fatalf("text snapshots differ:\n%s\nvs\n%s", ta.String(), tb.String())
+	}
+	if err := a.Snapshot().WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatalf("json snapshots differ:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+
+	want := "counter alpha 5\ncounter mid 3\ncounter zeta 4\ngauge g 9\ntimer t count=1 total=42ns\n"
+	if ta.String() != want {
+		t.Fatalf("text snapshot =\n%q\nwant\n%q", ta.String(), want)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(ja.Bytes(), &decoded); err != nil {
+		t.Fatalf("json snapshot does not round-trip: %v", err)
+	}
+	if len(decoded.Counters) != 3 || decoded.Counters[0].Name != "alpha" {
+		t.Fatalf("json decode = %+v", decoded)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Counter("shared").Inc()
+				c.Gauge("g").Set(int64(i))
+				span := c.Span("stage")
+				span.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter("shared").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := c.Timer("stage").Count(); got != workers*per {
+		t.Fatalf("timer count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestWarmPathZeroAllocs: after handles exist, counter updates, gauge
+// sets and span start/end allocate nothing — the guarantee that lets
+// the sched kernels carry instrumentation unconditionally.
+func TestWarmPathZeroAllocs(t *testing.T) {
+	c := New()
+	c.Counter("warm").Add(1)
+	c.Gauge("warm").Set(1)
+	c.Span("warm").End()
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Counter("warm").Add(2)
+		c.Gauge("warm").Set(3)
+		span := c.Span("warm")
+		span.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm path allocates %.1f per run, want 0", allocs)
+	}
+
+	var nilC *Collector
+	allocs = testing.AllocsPerRun(100, func() {
+		nilC.Counter("x").Add(1)
+		span := nilC.Span("x")
+		span.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestTextFormatStable(t *testing.T) {
+	c := New()
+	c.Counter("a.b").Add(1)
+	var buf bytes.Buffer
+	if err := c.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "counter a.b 1\n") {
+		t.Fatalf("unexpected text format: %q", buf.String())
+	}
+}

@@ -1,0 +1,312 @@
+package sched_test
+
+// Bitwise pinning of the typed workspace kernels to the pre-workspace
+// reference implementations, now promoted to internal/sched/refimpl so
+// they double as the differential oracle of internal/verify. This file
+// is an external test package because package sched's own test files
+// cannot import refimpl (refimpl imports sched). The kernel benchmarks
+// live here too: their "ref" variants are the "before" baseline recorded
+// in BENCH_PR3.json.
+
+import (
+	"testing"
+
+	"sweepsched/internal/dag"
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/sched/refimpl"
+)
+
+// meshInstance builds a jittered Kuhn-box mesh instance (the same
+// construction as package sched's in-package testInstance helper).
+func meshInstance(t testing.TB, nx, k, m int, seed uint64) *sched.Instance {
+	t.Helper()
+	msh := mesh.KuhnBox(mesh.BoxSpec{NX: nx, NY: nx, NZ: nx, Jitter: 0.15, Seed: seed})
+	dirs, err := quadrature.Octant(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sched.NewInstance(msh, dirs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// syntheticInstance builds a mesh-free instance of k independent random
+// DAGs (edges only from lower to higher cell id, so acyclic by
+// construction).
+func syntheticInstance(t testing.TB, n, k, m int, seed uint64) *sched.Instance {
+	t.Helper()
+	r := rng.New(seed)
+	dags := make([]*dag.DAG, k)
+	for i := range dags {
+		var edges [][2]int32
+		for u := int32(0); u < int32(n); u++ {
+			for e := r.Intn(3); e > 0; e-- {
+				w := u + 1 + int32(r.Intn(n-int(u)))
+				if w < int32(n) {
+					edges = append(edges, [2]int32{u, w})
+				}
+			}
+		}
+		d, err := dag.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dags[i] = d
+	}
+	inst, err := sched.FromDAGs(dags, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func tiedPrio(nt int, r *rng.Source) sched.Priorities {
+	prio := make(sched.Priorities, nt)
+	for t := range prio {
+		prio[t] = int64(r.Intn(nt/4 + 1))
+	}
+	return prio
+}
+
+func randomRelease(nt, maxRel int, r *rng.Source) []int32 {
+	rel := make([]int32, nt)
+	for t := range rel {
+		rel[t] = int32(r.Intn(maxRel + 1))
+	}
+	return rel
+}
+
+// TestListScheduleIntoMatchesReference pins the typed workspace kernel to
+// the promoted container/heap reference bit for bit across random
+// instances, priorities and release streams — mesh DAGs and random
+// non-geometric DAGs, with one workspace reused across every case to
+// also exercise cross-shape reuse.
+func TestListScheduleIntoMatchesReference(t *testing.T) {
+	ws := sched.NewWorkspace()
+	r := rng.New(987)
+	insts := []*sched.Instance{
+		meshInstance(t, 3, 6, 4, 5),
+		syntheticInstance(t, 120, 5, 7, 6),
+		syntheticInstance(t, 40, 3, 2, 7),
+	}
+	for ii, inst := range insts {
+		nt := inst.NTasks()
+		for round := 0; round < 10; round++ {
+			assign := sched.RandomAssignment(inst.N(), inst.M, r)
+			var prio sched.Priorities
+			if round > 0 {
+				prio = tiedPrio(nt, r)
+			}
+			var rel []int32
+			if round%2 == 1 {
+				rel = randomRelease(nt, 2*inst.K(), r)
+			}
+			want, err := refimpl.ListScheduleWithRelease(inst, assign, prio, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := &sched.Schedule{}
+			if err := sched.ListScheduleInto(ws, dst, inst, assign, prio, rel); err != nil {
+				t.Fatal(err)
+			}
+			for tt := range want.Start {
+				if dst.Start[tt] != want.Start[tt] {
+					t.Fatalf("inst %d round %d: task %d starts at %d, reference %d",
+						ii, round, tt, dst.Start[tt], want.Start[tt])
+				}
+			}
+			if dst.Makespan != want.Makespan {
+				t.Fatalf("inst %d round %d: makespan %d vs %d", ii, round, dst.Makespan, want.Makespan)
+			}
+		}
+	}
+}
+
+// TestCommScheduleIntoMatchesReference does the same for the uniform
+// communication-delay kernel across a delay sweep.
+func TestCommScheduleIntoMatchesReference(t *testing.T) {
+	ws := sched.NewWorkspace()
+	r := rng.New(654)
+	insts := []*sched.Instance{
+		meshInstance(t, 3, 4, 6, 9),
+		syntheticInstance(t, 90, 4, 5, 10),
+	}
+	for ii, inst := range insts {
+		nt := inst.NTasks()
+		for _, cd := range []int{0, 1, 3, 9, 40} {
+			assign := sched.RandomAssignment(inst.N(), inst.M, r)
+			prio := tiedPrio(nt, r)
+			want, err := refimpl.ListScheduleComm(inst, assign, prio, cd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := &sched.Schedule{}
+			if err := sched.CommScheduleInto(ws, dst, inst, assign, prio, cd); err != nil {
+				t.Fatal(err)
+			}
+			for tt := range want.Start {
+				if dst.Start[tt] != want.Start[tt] {
+					t.Fatalf("inst %d c=%d: task %d starts at %d, reference %d",
+						ii, cd, tt, dst.Start[tt], want.Start[tt])
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyScheduleMatchesReference pins the workspace Graham scheduler
+// to the promoted reference on levels and makespan.
+func TestGreedyScheduleMatchesReference(t *testing.T) {
+	r := rng.New(321)
+	insts := []*sched.Instance{
+		meshInstance(t, 3, 4, 5, 12),
+		syntheticInstance(t, 70, 4, 3, 13),
+	}
+	for ii, inst := range insts {
+		for round := 0; round < 5; round++ {
+			var prio sched.Priorities
+			if round > 0 {
+				prio = tiedPrio(inst.NTasks(), r)
+			}
+			wantLevel, wantMk, err := refimpl.GreedySchedule(inst, prio)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotLevel, gotMk, err := sched.GreedySchedule(inst, prio)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotMk != wantMk {
+				t.Fatalf("inst %d round %d: makespan %d vs %d", ii, round, gotMk, wantMk)
+			}
+			for tt := range wantLevel {
+				if gotLevel[tt] != wantLevel[tt] {
+					t.Fatalf("inst %d round %d: task %d level %d, reference %d",
+						ii, round, tt, gotLevel[tt], wantLevel[tt])
+				}
+			}
+		}
+	}
+}
+
+// TestResidualMatchesReference pins the residual kernel to the promoted
+// reference across precedence-consistent done sets.
+func TestResidualMatchesReference(t *testing.T) {
+	inst := syntheticInstance(t, 80, 4, 5, 20)
+	r := rng.New(21)
+	assign := sched.RandomAssignment(inst.N(), inst.M, r)
+	prio := tiedPrio(inst.NTasks(), r)
+	full, err := sched.ListSchedule(inst, assign, prio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sched.NewWorkspace()
+	for _, cut := range []int32{0, 1, int32(full.Makespan) / 2, int32(full.Makespan)} {
+		done := make([]bool, inst.NTasks())
+		for tt, st := range full.Start {
+			if st < cut {
+				done[tt] = true
+			}
+		}
+		want, err := refimpl.ListScheduleResidual(inst, assign, prio, done)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := &sched.Schedule{}
+		if err := sched.ListScheduleResidualInto(ws, dst, inst, assign, prio, done); err != nil {
+			t.Fatal(err)
+		}
+		for tt := range want.Start {
+			if dst.Start[tt] != want.Start[tt] {
+				t.Fatalf("cut %d: task %d starts at %d, reference %d", cut, tt, dst.Start[tt], want.Start[tt])
+			}
+		}
+		if dst.Makespan != want.Makespan {
+			t.Fatalf("cut %d: makespan %d vs %d", cut, dst.Makespan, want.Makespan)
+		}
+	}
+}
+
+// kernelBenchWorkload builds the random-delay trial workload both kernel
+// benchmark variants share: level+delay priorities and per-direction
+// release times, fresh assignment per trial — the §5.2 inner loop.
+func kernelBenchWorkload(b *testing.B) (*sched.Instance, []sched.Assignment, sched.Priorities, []int32) {
+	b.Helper()
+	inst := meshInstance(b, 8, 24, 32, 1)
+	r := rng.New(2)
+	nt := inst.NTasks()
+	n := int32(inst.N())
+	prio := make(sched.Priorities, nt)
+	rel := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		delay := int32(r.Intn(inst.K()))
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = int64(d.Level[v] + delay)
+			rel[base+v] = delay
+		}
+	}
+	assigns := make([]sched.Assignment, 8)
+	for i := range assigns {
+		assigns[i] = sched.RandomAssignment(inst.N(), inst.M, r)
+	}
+	return inst, assigns, prio, rel
+}
+
+// BenchmarkScheduleKernel compares the old container/heap+map kernel
+// ("ref", now internal/sched/refimpl) with the typed workspace kernel
+// ("workspace") on the random-delay trial loop; the speedup and
+// allocs/op are recorded in BENCH_PR3.json.
+func BenchmarkScheduleKernel(b *testing.B) {
+	inst, assigns, prio, rel := kernelBenchWorkload(b)
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := refimpl.ListScheduleWithRelease(inst, assigns[i%len(assigns)], prio, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := sched.NewWorkspace()
+		dst := &sched.Schedule{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sched.ListScheduleInto(ws, dst, inst, assigns[i%len(assigns)], prio, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCommKernel is the same comparison for the communication-delay
+// kernel.
+func BenchmarkCommKernel(b *testing.B) {
+	inst, assigns, prio, _ := kernelBenchWorkload(b)
+	const cd = 4
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := refimpl.ListScheduleComm(inst, assigns[i%len(assigns)], prio, cd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := sched.NewWorkspace()
+		dst := &sched.Schedule{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sched.CommScheduleInto(ws, dst, inst, assigns[i%len(assigns)], prio, cd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -2,9 +2,12 @@ package sched
 
 // Tests for the typed scheduling kernel: the 4-ary heap and calendar
 // queue are property-tested against container/heap and map references on
-// random streams, the Into entry points are pinned bitwise to the old
-// implementations, and testing.AllocsPerRun enforces the zero
-// steady-state allocation contract on a warm workspace.
+// random streams, and testing.AllocsPerRun enforces the zero
+// steady-state allocation contract on a warm workspace (with and without
+// an attached obs collector). The bitwise pinning of the Into entry
+// points to the pre-workspace kernels lives in kernel_oracle_test.go
+// (external test package) against internal/sched/refimpl, which this
+// package cannot import directly.
 
 import (
 	"container/heap"
@@ -14,8 +17,35 @@ import (
 	"testing"
 
 	"sweepsched/internal/dag"
+	"sweepsched/internal/obs"
 	"sweepsched/internal/rng"
 )
+
+// refTaskHeap is the old container/heap min-heap of tasks ordered by
+// (priority, id) — the in-package reference for the heap4 and rankq
+// property tests (the full pre-workspace kernels are in refimpl).
+type refTaskHeap struct {
+	ids  []TaskID
+	prio Priorities
+}
+
+func (h *refTaskHeap) Len() int { return len(h.ids) }
+func (h *refTaskHeap) Less(a, b int) bool {
+	pa, pb := h.prio[h.ids[a]], h.prio[h.ids[b]]
+	if pa != pb {
+		return pa < pb
+	}
+	return h.ids[a] < h.ids[b]
+}
+func (h *refTaskHeap) Swap(a, b int)      { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
+func (h *refTaskHeap) Push(x interface{}) { h.ids = append(h.ids, x.(TaskID)) }
+func (h *refTaskHeap) Pop() interface{} {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
 
 // randomPrio draws priorities with deliberate ties so TaskID tie-breaking
 // is exercised on every stream.
@@ -292,84 +322,6 @@ func releaseStream(nt, maxRel int, r *rng.Source) []int32 {
 	return rel
 }
 
-// TestListScheduleIntoMatchesReference pins the typed workspace kernel to
-// the container/heap reference bit for bit across random instances,
-// priorities and release streams — mesh DAGs and random non-geometric
-// DAGs, with one workspace reused across every case to also exercise
-// cross-shape reuse.
-func TestListScheduleIntoMatchesReference(t *testing.T) {
-	ws := NewWorkspace()
-	r := rng.New(987)
-	insts := []*Instance{
-		testInstance(t, 3, 6, 4, 5),
-		randomDAGInstance(t, 120, 5, 7, 6),
-		randomDAGInstance(t, 40, 3, 2, 7),
-	}
-	for ii, inst := range insts {
-		nt := inst.NTasks()
-		for round := 0; round < 10; round++ {
-			assign := RandomAssignment(inst.N(), inst.M, r)
-			var prio Priorities
-			if round > 0 {
-				prio = randomPrio(nt, r)
-			}
-			var rel []int32
-			if round%2 == 1 {
-				rel = releaseStream(nt, 2*inst.K(), r)
-			}
-			want, err := refListScheduleWithRelease(inst, assign, prio, rel)
-			if err != nil {
-				t.Fatal(err)
-			}
-			dst := &Schedule{}
-			if err := ListScheduleInto(ws, dst, inst, assign, prio, rel); err != nil {
-				t.Fatal(err)
-			}
-			for tt := range want.Start {
-				if dst.Start[tt] != want.Start[tt] {
-					t.Fatalf("inst %d round %d: task %d starts at %d, reference %d",
-						ii, round, tt, dst.Start[tt], want.Start[tt])
-				}
-			}
-			if dst.Makespan != want.Makespan {
-				t.Fatalf("inst %d round %d: makespan %d vs %d", ii, round, dst.Makespan, want.Makespan)
-			}
-		}
-	}
-}
-
-// TestCommScheduleIntoMatchesReference does the same for the uniform
-// communication-delay kernel across a delay sweep.
-func TestCommScheduleIntoMatchesReference(t *testing.T) {
-	ws := NewWorkspace()
-	r := rng.New(654)
-	insts := []*Instance{
-		testInstance(t, 3, 4, 6, 9),
-		randomDAGInstance(t, 90, 4, 5, 10),
-	}
-	for ii, inst := range insts {
-		nt := inst.NTasks()
-		for _, cd := range []int{0, 1, 3, 9, 40} {
-			assign := RandomAssignment(inst.N(), inst.M, r)
-			prio := randomPrio(nt, r)
-			want, err := refListScheduleComm(inst, assign, prio, cd)
-			if err != nil {
-				t.Fatal(err)
-			}
-			dst := &Schedule{}
-			if err := CommScheduleInto(ws, dst, inst, assign, prio, cd); err != nil {
-				t.Fatal(err)
-			}
-			for tt := range want.Start {
-				if dst.Start[tt] != want.Start[tt] {
-					t.Fatalf("inst %d c=%d: task %d starts at %d, reference %d",
-						ii, cd, tt, dst.Start[tt], want.Start[tt])
-				}
-			}
-		}
-	}
-}
-
 // TestResidualIntoMatchesWrapper checks the residual Into kernel against
 // the (already-tested) wrapper across random done sets.
 func TestResidualIntoMatchesWrapper(t *testing.T) {
@@ -436,7 +388,10 @@ func TestKernelErrorsPreserved(t *testing.T) {
 // TestScheduleIntoZeroAllocs is the steady-state allocation regression
 // test: on a warm workspace with a recycled destination, the list and
 // comm kernels must not allocate at all, and the residual kernel must
-// not either (the fault engine reschedules through one workspace).
+// not either (the fault engine reschedules through one workspace). The
+// "/observed" variants attach a live obs.Collector: after the first
+// (warming) run creates the metric handles, instrumentation must add
+// zero allocations to the kernels.
 func TestScheduleIntoZeroAllocs(t *testing.T) {
 	inst := testInstance(t, 4, 8, 16, 11)
 	r := rng.New(3)
@@ -445,6 +400,9 @@ func TestScheduleIntoZeroAllocs(t *testing.T) {
 	rel := releaseStream(inst.NTasks(), inst.K(), r)
 	ws := NewWorkspace()
 	dst := &Schedule{}
+	wsObs := NewWorkspace()
+	wsObs.SetObserver(obs.New())
+	dstObs := &Schedule{}
 
 	cases := []struct {
 		name string
@@ -454,6 +412,13 @@ func TestScheduleIntoZeroAllocs(t *testing.T) {
 		{"ListScheduleInto/nilPrioRelease", func() error { return ListScheduleInto(ws, dst, inst, assign, nil, nil) }},
 		{"CommScheduleInto", func() error { return CommScheduleInto(ws, dst, inst, assign, prio, 4) }},
 		{"ListScheduleResidualInto", func() error { return ListScheduleResidualInto(ws, dst, inst, assign, prio, nil) }},
+		{"ListScheduleInto/observed", func() error { return ListScheduleInto(wsObs, dstObs, inst, assign, prio, rel) }},
+		{"CommScheduleInto/observed", func() error { return CommScheduleInto(wsObs, dstObs, inst, assign, prio, 4) }},
+		{"ListScheduleResidualInto/observed", func() error { return ListScheduleResidualInto(wsObs, dstObs, inst, assign, prio, nil) }},
+		{"GreedyScheduleInto/observed", func() error {
+			_, err := GreedyScheduleInto(wsObs, wsObs.Int32Buf(inst.NTasks()), inst, prio)
+			return err
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -481,7 +446,7 @@ func TestScheduleIntoZeroAllocs(t *testing.T) {
 func TestWorkspacePoolRoundTrip(t *testing.T) {
 	inst := randomDAGInstance(t, 60, 3, 4, 40)
 	assign := RandomAssignment(inst.N(), inst.M, rng.New(8))
-	want, err := refListScheduleWithRelease(inst, assign, nil, nil)
+	want, err := ListScheduleWithRelease(inst, assign, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,7 +485,7 @@ func TestWorkspaceScratchBuffers(t *testing.T) {
 	// zero priorities (zeroPrio is a separate buffer).
 	inst := randomDAGInstance(t, 30, 2, 2, 50)
 	assign := RandomAssignment(inst.N(), inst.M, rng.New(1))
-	want, err := refListScheduleWithRelease(inst, assign, nil, nil)
+	want, err := ListScheduleWithRelease(inst, assign, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -535,81 +500,146 @@ func TestWorkspaceScratchBuffers(t *testing.T) {
 	}
 }
 
-// kernelBenchWorkload builds the random-delay trial workload both kernel
-// benchmark variants share: level+delay priorities and per-direction
-// release times, fresh assignment per trial — the §5.2 inner loop.
-func kernelBenchWorkload(b *testing.B) (*Instance, []Assignment, Priorities, []int32) {
-	b.Helper()
-	inst := testInstance(b, 8, 24, 32, 1)
-	r := rng.New(2)
-	nt := inst.NTasks()
-	n := int32(inst.N())
-	prio := make(Priorities, nt)
-	rel := make([]int32, nt)
-	for i, d := range inst.DAGs {
-		base := int32(i) * n
-		delay := int32(r.Intn(inst.K()))
-		for v := int32(0); v < n; v++ {
-			prio[base+v] = int64(d.Level[v] + delay)
-			rel[base+v] = delay
+// TestRankqRaggedTaskCount exercises rankq.build on task counts that are
+// not an exact multiple of the cell count (a trailing partial
+// direction). The per-processor counts must come from the actual
+// task→cell mapping: the old cells-times-k shortcut truncated nt/n and
+// mis-sized every partition offset after the first affected processor.
+func TestRankqRaggedTaskCount(t *testing.T) {
+	r := rng.New(9091)
+	for round := 0; round < 30; round++ {
+		n := 2 + r.Intn(40)
+		m := 1 + r.Intn(6)
+		// nt deliberately not a multiple of n (and sometimes < n).
+		nt := 1 + r.Intn(3*n)
+		if nt%n == 0 {
+			nt++
+		}
+		prio := randomPrio(nt, r)
+		assign := RandomAssignment(n, m, r)
+		procOf := func(tt TaskID) int32 { return assign[int32(tt)%int32(n)] }
+
+		var q rankq
+		q.build(prio, nt, m, assign, int32(n))
+		if got := int(q.taskOff[m]); got != nt {
+			t.Fatalf("round %d (n=%d nt=%d m=%d): partition covers %d tasks, want %d",
+				round, n, nt, m, got, nt)
+		}
+		for p := 0; p < m; p++ {
+			var want []TaskID
+			for tt := TaskID(0); tt < TaskID(nt); tt++ {
+				if procOf(tt) == int32(p) {
+					want = append(want, tt)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool {
+				if prio[want[a]] != prio[want[b]] {
+					return prio[want[a]] < prio[want[b]]
+				}
+				return want[a] < want[b]
+			})
+			got := q.order[q.taskOff[p]:q.taskOff[p+1]]
+			if len(got) != len(want) {
+				t.Fatalf("round %d proc %d: %d tasks in partition, want %d", round, p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d proc %d rank %d: task %d, want %d", round, p, i, got[i], want[i])
+				}
+			}
+		}
+
+		// The ready set must still pop in (prio, id) order per processor.
+		q.reset()
+		ref := make([]heap4, m)
+		for p := range ref {
+			ref[p].reset(prio)
+		}
+		for tt := TaskID(0); tt < TaskID(nt); tt++ {
+			p := procOf(tt)
+			q.push(p, tt)
+			ref[p].push(tt)
+		}
+		for p := int32(0); p < int32(m); p++ {
+			for ref[p].len() > 0 {
+				if got, want := q.pop(p), ref[p].pop(); got != want {
+					t.Fatalf("round %d proc %d: popped %d, reference %d", round, p, got, want)
+				}
+			}
+			if q.count[p] != 0 {
+				t.Fatalf("round %d proc %d: count %d after drain", round, p, q.count[p])
+			}
 		}
 	}
-	assigns := make([]Assignment, 8)
-	for i := range assigns {
-		assigns[i] = RandomAssignment(inst.N(), inst.M, r)
+}
+
+// TestRankqRadixFallbackBoundary pins build's sort-path selection at the
+// exact threshold: a priority spread of math.MaxUint64>>(idBits+1) still
+// packs next to a task id in 64 bits (radix path), spread+1 must take
+// the comparison-sort fallback — and both must produce the identical
+// (prio, id) partition order.
+func TestRankqRadixFallbackBoundary(t *testing.T) {
+	const n, k, m = 2, 2, 2
+	nt := n * k // idBits = bits.Len64(3) = 2
+	idBits := uint(2)
+	atLimit := int64(uint64(math.MaxUint64) >> (idBits + 1)) // fits: spread<<idBits has headroom
+	assign := Assignment{0, 1}
+	for name, spread := range map[string]int64{"atThreshold": atLimit, "pastThreshold": atLimit + 1} {
+		prio := Priorities{0, spread, spread, 0}
+		var q rankq
+		q.build(prio, nt, m, assign, n)
+		// Expected per-processor (prio, id) order, from a plain sort.
+		for p := 0; p < m; p++ {
+			var want []TaskID
+			for tt := TaskID(0); tt < TaskID(nt); tt++ {
+				if assign[int32(tt)%n] == int32(p) {
+					want = append(want, tt)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool {
+				if prio[want[a]] != prio[want[b]] {
+					return prio[want[a]] < prio[want[b]]
+				}
+				return want[a] < want[b]
+			})
+			got := q.order[q.taskOff[p]:q.taskOff[p+1]]
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s proc %d rank %d: task %d, want %d", name, p, i, got[i], want[i])
+				}
+			}
+		}
 	}
-	return inst, assigns, prio, rel
 }
 
-// BenchmarkScheduleKernel compares the old container/heap+map kernel
-// ("ref") with the typed workspace kernel ("workspace") on the
-// random-delay trial loop; the speedup and allocs/op are recorded in
-// BENCH_PR3.json.
-func BenchmarkScheduleKernel(b *testing.B) {
-	inst, assigns, prio, rel := kernelBenchWorkload(b)
-	b.Run("ref", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := refListScheduleWithRelease(inst, assigns[i%len(assigns)], prio, rel); err != nil {
-				b.Fatal(err)
+// TestCalendarPushAtHorizonLimit pushes tasks due exactly horizon steps
+// ahead of the drain point — the furthest the prepare contract allows —
+// and checks they surface at the right step with no bucket collision.
+func TestCalendarPushAtHorizonLimit(t *testing.T) {
+	for _, horizon := range []int32{1, 7, 8, 63} {
+		var cal calendar
+		cal.prepare(horizon)
+		next := TaskID(0)
+		seen := map[TaskID]int32{}
+		steps := 4 * horizon
+		for now := int32(0); now <= steps; now++ {
+			for _, tt := range cal.due(now) {
+				if want, ok := seen[tt]; !ok || want != now {
+					t.Fatalf("horizon %d: task %d drained at %d, due %d", horizon, tt, now, want)
+				}
+				delete(seen, tt)
+			}
+			cal.clearDue(now)
+			if now < steps-horizon {
+				// Push exactly at the limit: due = now + horizon, while the
+				// bucket for `now` was just recycled.
+				cal.push(next, now+horizon)
+				seen[next] = now + horizon
+				next++
 			}
 		}
-	})
-	b.Run("workspace", func(b *testing.B) {
-		ws := NewWorkspace()
-		dst := &Schedule{}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := ListScheduleInto(ws, dst, inst, assigns[i%len(assigns)], prio, rel); err != nil {
-				b.Fatal(err)
-			}
+		if len(seen) != 0 || cal.pending != 0 {
+			t.Fatalf("horizon %d: %d tasks undrained, pending %d", horizon, len(seen), cal.pending)
 		}
-	})
-}
-
-// BenchmarkCommKernel is the same comparison for the communication-delay
-// kernel.
-func BenchmarkCommKernel(b *testing.B) {
-	inst, assigns, prio, _ := kernelBenchWorkload(b)
-	const cd = 4
-	b.Run("ref", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := refListScheduleComm(inst, assigns[i%len(assigns)], prio, cd); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("workspace", func(b *testing.B) {
-		ws := NewWorkspace()
-		dst := &Schedule{}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := CommScheduleInto(ws, dst, inst, assigns[i%len(assigns)], prio, cd); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	}
 }

@@ -71,6 +71,7 @@ func GreedyScheduleInto(ws *Workspace, level []int32, inst *Instance, prio Prior
 	} else if len(prio) != nt {
 		return 0, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
 	}
+	span := ws.col.Span("sched.greedy.time")
 	n := int32(inst.N())
 	ws.fillIndeg(inst)
 	indeg := ws.indeg
@@ -110,6 +111,9 @@ func GreedyScheduleInto(ws *Workspace, level []int32, inst *Instance, prio Prior
 		makespan = int(step)
 	}
 	ws.completed = batch[:0]
+	span.End()
+	ws.col.Counter("sched.greedy.runs").Inc()
+	ws.col.Counter("sched.greedy.steps").Add(int64(makespan))
 	return makespan, nil
 }
 

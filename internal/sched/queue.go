@@ -241,17 +241,27 @@ func (q *rankq) build(prio Priorities, nt, m int, assign Assignment, n int32) {
 	// Partition the sorted order by processor: processor p's tasks, in
 	// global (prio, id) order, occupy order[taskOff[p]:taskOff[p+1]]
 	// and get local ranks 0..count-1; its bitmap occupies
-	// words[wordsOff[p]:wordsOff[p+1]].
-	k := int32(nt) / n
+	// words[wordsOff[p]:wordsOff[p+1]]. Per-processor task counts come
+	// from the actual task→cell mapping: the Instance layout (nt = n·k,
+	// every direction one copy of each cell) admits the cells-times-k
+	// shortcut, but a ragged nt (not a multiple of n) must be counted
+	// task by task or the trailing partial direction mis-sizes every
+	// offset after the first affected processor.
 	next := q.next
 	clear(next)
-	for v := int32(0); v < n; v++ {
-		next[assign[v]]++
+	if k := int32(nt) / n; k*n == int32(nt) {
+		for v := int32(0); v < n; v++ {
+			next[assign[v]] += k
+		}
+	} else {
+		for t := int32(0); t < int32(nt); t++ {
+			next[assign[t%n]]++
+		}
 	}
 	var to, wo int32
 	for p := 0; p < m; p++ {
 		q.taskOff[p], q.wordsOff[p] = to, wo
-		tc := next[p] * k
+		tc := next[p]
 		to += tc
 		wo += (tc + 63) >> 6
 	}

@@ -1,0 +1,411 @@
+// Package refimpl preserves the pre-workspace scheduling kernels
+// verbatim: container/heap task heaps with interface{} boxing, a
+// map[int32][]TaskID release calendar, and every piece of state freshly
+// allocated per call. They were the production kernels before the
+// zero-allocation rewrite and are deliberately left untouched by later
+// optimization work, which makes them an independent differential
+// oracle: internal/verify replays instances through both these and the
+// optimized kernels (sched.ListScheduleInto, sched.CommScheduleInto,
+// sched.GreedyScheduleInto, sched.ListScheduleResidualInto) and demands
+// bitwise-identical schedules. The sched package's property tests and
+// kernel benchmarks (the "before" baseline recorded in BENCH_PR3.json)
+// build on the same functions.
+//
+// Do not optimize this package. Its value is that it shares no queue,
+// sort or calendar code with the hot kernels.
+package refimpl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sweepsched/internal/sched"
+)
+
+// taskHeap is the old container/heap min-heap of tasks ordered by
+// (priority, id).
+type taskHeap struct {
+	ids  []sched.TaskID
+	prio sched.Priorities
+}
+
+func (h *taskHeap) Len() int { return len(h.ids) }
+func (h *taskHeap) Less(a, b int) bool {
+	pa, pb := h.prio[h.ids[a]], h.prio[h.ids[b]]
+	if pa != pb {
+		return pa < pb
+	}
+	return h.ids[a] < h.ids[b]
+}
+func (h *taskHeap) Swap(a, b int)      { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
+func (h *taskHeap) Push(x interface{}) { h.ids = append(h.ids, x.(sched.TaskID)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
+
+// finish computes the makespan from the start times (the old kernels
+// called the unexported Schedule.computeMakespan).
+func finish(s *sched.Schedule) {
+	max := int32(-1)
+	for _, t := range s.Start {
+		if t > max {
+			max = t
+		}
+	}
+	s.Makespan = int(max) + 1
+}
+
+// ListScheduleWithRelease is the old sched.ListScheduleWithRelease.
+func ListScheduleWithRelease(inst *sched.Instance, assign sched.Assignment, prio sched.Priorities, release []int32) (*sched.Schedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(sched.Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	if release != nil && len(release) != nt {
+		return nil, fmt.Errorf("sched: %d release times for %d tasks", len(release), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	heaps := make([]taskHeap, inst.M)
+	for p := range heaps {
+		heaps[p].prio = prio
+	}
+	future := map[int32][]sched.TaskID{}
+	pendingFuture := 0
+	makeAvailable := func(t sched.TaskID, now int32) {
+		if release != nil && release[t] > now {
+			future[release[t]] = append(future[release[t]], t)
+			pendingFuture++
+			return
+		}
+		v, _ := inst.Split(t)
+		heap.Push(&heaps[assign[v]], t)
+	}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			makeAvailable(sched.TaskID(t), 0)
+		}
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completedAtStep := make([]sched.TaskID, 0, inst.M)
+
+	for step := int32(0); remaining > 0; step++ {
+		if pendingFuture > 0 {
+			if due, ok := future[step]; ok {
+				for _, t := range due {
+					v, _ := inst.Split(t)
+					heap.Push(&heaps[assign[v]], t)
+				}
+				pendingFuture -= len(due)
+				delete(future, step)
+			}
+		}
+		completedAtStep = completedAtStep[:0]
+		for p := 0; p < inst.M; p++ {
+			h := &heaps[p]
+			if h.Len() == 0 {
+				continue
+			}
+			t := heap.Pop(h).(sched.TaskID)
+			start[t] = step
+			remaining--
+			completedAtStep = append(completedAtStep, t)
+		}
+		if len(completedAtStep) == 0 && pendingFuture == 0 {
+			return nil, fmt.Errorf("sched: deadlock at step %d with %d tasks remaining", step, remaining)
+		}
+		for _, t := range completedAtStep {
+			v, i := inst.Split(t)
+			base := sched.TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + sched.TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					makeAvailable(wt, step+1)
+				}
+			}
+		}
+	}
+
+	s := &sched.Schedule{Inst: inst, Assign: assign, Start: start}
+	finish(s)
+	return s, nil
+}
+
+// ListScheduleComm is the old sched.ListScheduleComm.
+func ListScheduleComm(inst *sched.Instance, assign sched.Assignment, prio sched.Priorities, commDelay int) (*sched.Schedule, error) {
+	if commDelay < 0 {
+		return nil, fmt.Errorf("sched: negative communication delay %d", commDelay)
+	}
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(sched.Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	readyAt := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	heaps := make([]taskHeap, inst.M)
+	for p := range heaps {
+		heaps[p].prio = prio
+	}
+	future := map[int32][]sched.TaskID{}
+	pendingFuture := 0
+	makeAvailable := func(t sched.TaskID, now int32) {
+		if readyAt[t] > now {
+			future[readyAt[t]] = append(future[readyAt[t]], t)
+			pendingFuture++
+			return
+		}
+		v, _ := inst.Split(t)
+		heap.Push(&heaps[assign[v]], t)
+	}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			makeAvailable(sched.TaskID(t), 0)
+		}
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	remaining := nt
+	completed := make([]sched.TaskID, 0, inst.M)
+	cd := int32(commDelay)
+
+	for step := int32(0); remaining > 0; step++ {
+		if pendingFuture > 0 {
+			if due, ok := future[step]; ok {
+				for _, t := range due {
+					v, _ := inst.Split(t)
+					heap.Push(&heaps[assign[v]], t)
+				}
+				pendingFuture -= len(due)
+				delete(future, step)
+			}
+		}
+		completed = completed[:0]
+		for p := 0; p < inst.M; p++ {
+			h := &heaps[p]
+			if h.Len() == 0 {
+				continue
+			}
+			t := heap.Pop(h).(sched.TaskID)
+			start[t] = step
+			remaining--
+			completed = append(completed, t)
+		}
+		if len(completed) == 0 && pendingFuture == 0 {
+			return nil, fmt.Errorf("sched: comm-delay deadlock at step %d with %d remaining", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			p := assign[v]
+			base := sched.TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + sched.TaskID(w)
+				avail := step + 1
+				if assign[w] != p {
+					avail += cd
+				}
+				if avail > readyAt[wt] {
+					readyAt[wt] = avail
+				}
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					makeAvailable(wt, step+1)
+				}
+			}
+		}
+	}
+
+	s := &sched.Schedule{Inst: inst, Assign: assign, Start: start}
+	finish(s)
+	return s, nil
+}
+
+// GreedySchedule is the pre-workspace Graham list scheduler on the union
+// DAG: a single container/heap ready heap, up to m tasks per step, levels
+// 1-based. Output matches sched.GreedySchedule bit for bit.
+func GreedySchedule(inst *sched.Instance, prio sched.Priorities) (level []int32, makespan int, err error) {
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(sched.Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, 0, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+	ready := &taskHeap{prio: prio}
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			heap.Push(ready, sched.TaskID(t))
+		}
+	}
+	level = make([]int32, nt)
+	remaining := nt
+	batch := make([]sched.TaskID, 0, inst.M)
+	for step := int32(1); remaining > 0; step++ {
+		batch = batch[:0]
+		for len(batch) < inst.M && ready.Len() > 0 {
+			batch = append(batch, heap.Pop(ready).(sched.TaskID))
+		}
+		if len(batch) == 0 {
+			return nil, 0, fmt.Errorf("sched: greedy deadlock at step %d", step)
+		}
+		for _, t := range batch {
+			level[t] = step
+			remaining--
+		}
+		for _, t := range batch {
+			v, i := inst.Split(t)
+			base := sched.TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + sched.TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					heap.Push(ready, wt)
+				}
+			}
+		}
+		makespan = int(step)
+	}
+	return level, makespan, nil
+}
+
+// ListScheduleResidual is the pre-workspace residual (recovery) list
+// scheduler: per-processor container/heap heaps over only the not-done
+// tasks, done tasks treated as finished before step 0 and left with
+// Start = -1; Makespan covers only residual steps. Output matches
+// sched.ListScheduleResidualInto bit for bit.
+func ListScheduleResidual(inst *sched.Instance, assign sched.Assignment, prio sched.Priorities, done []bool) (*sched.Schedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if done != nil && len(done) != nt {
+		return nil, fmt.Errorf("sched: done set covers %d of %d tasks", len(done), nt)
+	}
+	if prio == nil {
+		prio = make(sched.Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+	isDone := func(t sched.TaskID) bool { return done != nil && done[t] }
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	remaining := 0
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			t := sched.TaskID(base + v)
+			if isDone(t) {
+				continue
+			}
+			remaining++
+			for _, u := range d.In(v) {
+				if !isDone(sched.TaskID(base + u)) {
+					indeg[t]++
+				}
+			}
+		}
+	}
+
+	heaps := make([]taskHeap, inst.M)
+	for p := range heaps {
+		heaps[p].prio = prio
+	}
+	for t := sched.TaskID(0); t < sched.TaskID(nt); t++ {
+		if !isDone(t) && indeg[t] == 0 {
+			heaps[assign[int32(t)%n]].ids = append(heaps[assign[int32(t)%n]].ids, t)
+		}
+	}
+	for p := range heaps {
+		heap.Init(&heaps[p])
+	}
+
+	start := make([]int32, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	completed := make([]sched.TaskID, 0, inst.M)
+	makespan := int32(0)
+	for step := int32(0); remaining > 0; step++ {
+		completed = completed[:0]
+		for p := range heaps {
+			if heaps[p].Len() == 0 {
+				continue
+			}
+			t := heap.Pop(&heaps[p]).(sched.TaskID)
+			start[t] = step
+			remaining--
+			completed = append(completed, t)
+		}
+		if len(completed) == 0 {
+			return nil, fmt.Errorf("sched: residual deadlock at step %d with %d tasks remaining (done set not precedence-consistent?)", step, remaining)
+		}
+		for _, t := range completed {
+			v, i := inst.Split(t)
+			base := sched.TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + sched.TaskID(w)
+				if isDone(wt) {
+					continue
+				}
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					heap.Push(&heaps[assign[w]], wt)
+				}
+			}
+		}
+		makespan = step + 1
+	}
+	s := &sched.Schedule{Inst: inst, Assign: assign, Start: start, Makespan: int(makespan)}
+	return s, nil
+}

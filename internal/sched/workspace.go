@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"sync"
+
+	"sweepsched/internal/obs"
 )
 
 // Workspace is the reusable scratch arena of the scheduling kernel:
@@ -34,8 +36,26 @@ type Workspace struct {
 	prioBuf  Priorities
 	int32Buf []int32
 
+	// col receives the kernels' stage timers and run/step counters
+	// (SetObserver). nil disables collection; the nil-safe obs calls cost
+	// one branch each, and warm metric updates allocate nothing, so the
+	// zero-allocation contract holds with or without a collector.
+	col *obs.Collector
+
 	key wsKey
 }
+
+// SetObserver attaches an obs collector: every kernel run through this
+// workspace records a stage span (sched.list.time, sched.comm.time,
+// sched.greedy.time, sched.residual.time) and run/step counters. A nil
+// collector detaches. Release detaches automatically so pooled
+// workspaces never leak a collector to an unrelated caller.
+func (ws *Workspace) SetObserver(col *obs.Collector) { ws.col = col }
+
+// Observer returns the attached collector (nil when detached). Callers
+// layering their own stages over the kernels (heuristics, core) record
+// through it so one attachment instruments the whole pipeline.
+func (ws *Workspace) Observer() *obs.Collector { return ws.col }
 
 // NewWorkspace returns an empty workspace; it grows to fit the first
 // instance it schedules and is warm from the second call on. Callers
@@ -75,6 +95,7 @@ func GetWorkspace(inst *Instance) *Workspace {
 // not be used afterwards; schedules it produced remain valid (they never
 // alias workspace memory).
 func (ws *Workspace) Release() {
+	ws.col = nil
 	if ws.key == (wsKey{}) {
 		return // not pool-managed (NewWorkspace)
 	}
@@ -191,6 +212,7 @@ func ListScheduleInto(ws *Workspace, dst *Schedule, inst *Instance, assign Assig
 	if err != nil {
 		return err
 	}
+	span := ws.col.Span("sched.list.time")
 	n := int32(inst.N())
 	ws.fillIndeg(inst)
 	indeg := ws.indeg
@@ -267,6 +289,9 @@ func ListScheduleInto(ws *Workspace, dst *Schedule, inst *Instance, assign Assig
 	ws.completed = completed[:0]
 	dst.Inst, dst.Assign = inst, assign
 	dst.computeMakespan()
+	span.End()
+	ws.col.Counter("sched.list.runs").Inc()
+	ws.col.Counter("sched.list.steps").Add(int64(dst.Makespan))
 	return nil
 }
 
@@ -283,6 +308,7 @@ func CommScheduleInto(ws *Workspace, dst *Schedule, inst *Instance, assign Assig
 	if err != nil {
 		return err
 	}
+	span := ws.col.Span("sched.comm.time")
 	nt := inst.NTasks()
 	n := int32(inst.N())
 	ws.fillIndeg(inst)
@@ -360,6 +386,9 @@ func CommScheduleInto(ws *Workspace, dst *Schedule, inst *Instance, assign Assig
 	ws.completed = completed[:0]
 	dst.Inst, dst.Assign = inst, assign
 	dst.computeMakespan()
+	span.End()
+	ws.col.Counter("sched.comm.runs").Inc()
+	ws.col.Counter("sched.comm.steps").Add(int64(dst.Makespan))
 	return nil
 }
 
@@ -379,6 +408,7 @@ func ListScheduleResidualInto(ws *Workspace, dst *Schedule, inst *Instance, assi
 	if err != nil {
 		return err
 	}
+	span := ws.col.Span("sched.residual.time")
 	isDone := func(t TaskID) bool { return done != nil && done[t] }
 
 	// Indegree over the residual sub-DAG: only edges between not-done
@@ -456,5 +486,8 @@ func ListScheduleResidualInto(ws *Workspace, dst *Schedule, inst *Instance, assi
 	ws.completed = completed[:0]
 	dst.Inst, dst.Assign = inst, assign
 	dst.Makespan = int(makespan)
+	span.End()
+	ws.col.Counter("sched.residual.runs").Inc()
+	ws.col.Counter("sched.residual.steps").Add(int64(dst.Makespan))
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -65,10 +66,12 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
-// Table renders aligned text tables for experiment output.
+// Table renders aligned text tables for experiment output. Rows keep
+// their raw values: the text renderer rounds floats for alignment while
+// RenderCSV emits them losslessly.
 type Table struct {
 	header []string
-	rows   [][]string
+	rows   [][]interface{}
 }
 
 // NewTable creates a table with the given column headers.
@@ -76,38 +79,71 @@ func NewTable(header ...string) *Table {
 	return &Table{header: header}
 }
 
-// AddRow appends a row; values are formatted with %v, floats with 4
-// significant digits.
+// AddRow appends a row. Rows may be wider than the header (the extra
+// columns render under empty headings).
 func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
-		case float32:
-			row[i] = fmt.Sprintf("%.4g", v)
-		default:
-			row[i] = fmt.Sprintf("%v", v)
-		}
-	}
-	t.rows = append(t.rows, row)
+	t.rows = append(t.rows, cells)
 }
 
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// Render writes the table with aligned columns.
+// textCell formats a value for the aligned text renderer: floats at 4
+// significant digits, everything else with %v.
+func textCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return fmt.Sprintf("%.4g", v)
+	case float32:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// csvCell formats a value for CSV: floats use the shortest decimal
+// representation that parses back to the same bits (strconv 'g' with
+// precision -1), so CSV output is lossless.
+func csvCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(v), 'g', -1, 32)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// nCols returns the widest column count across the header and all rows.
+func (t *Table) nCols() int {
+	n := len(t.header)
+	for _, row := range t.rows {
+		if len(row) > n {
+			n = len(row)
+		}
+	}
+	return n
+}
+
+// Render writes the table with aligned columns. Tables with no columns
+// or rows wider than the header render without panicking: widths cover
+// the widest row, and the separator is clamped to a non-negative length.
 func (t *Table) Render(w io.Writer) error {
-	widths := make([]int, len(t.header))
+	widths := make([]int, t.nCols())
 	for i, h := range t.header {
 		widths[i] = len(h)
 	}
-	for _, row := range t.rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+	text := make([][]string, len(t.rows))
+	for ri, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = textCell(c)
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
 			}
 		}
+		text[ri] = cells
 	}
 	line := func(cells []string) string {
 		var b strings.Builder
@@ -129,10 +165,13 @@ func (t *Table) Render(w io.Writer) error {
 	for _, wd := range widths {
 		total += wd + 2
 	}
+	if total < 2 {
+		total = 2 // zero-column table: empty separator, not a negative Repeat count
+	}
 	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
 		return err
 	}
-	for _, row := range t.rows {
+	for _, row := range text {
 		if _, err := fmt.Fprintln(w, line(row)); err != nil {
 			return err
 		}
@@ -140,8 +179,9 @@ func (t *Table) Render(w io.Writer) error {
 	return nil
 }
 
-// RenderCSV writes the table as CSV (no quoting needed for our numeric
-// content; commas in cells are replaced by semicolons defensively).
+// RenderCSV writes the table as CSV. Floats round-trip exactly (see
+// csvCell); commas in cells are replaced by semicolons defensively (no
+// quoting needed for our numeric content).
 func (t *Table) RenderCSV(w io.Writer) error {
 	esc := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
 	cells := make([]string, 0, len(t.header))
@@ -154,7 +194,7 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	for _, row := range t.rows {
 		cells = cells[:0]
 		for _, c := range row {
-			cells = append(cells, esc(c))
+			cells = append(cells, esc(csvCell(c)))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
 			return err

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -85,6 +86,72 @@ func TestTableRenderCSV(t *testing.T) {
 	}
 	if lines[1] != "x;y,1" {
 		t.Fatalf("csv row %q", lines[1])
+	}
+}
+
+func TestTableRenderZeroColumns(t *testing.T) {
+	// Regression: a table built with no headers used to panic in Render
+	// (strings.Repeat with a negative count for the separator line).
+	tbl := NewTable()
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRenderWideRow(t *testing.T) {
+	// Regression: a row wider than the header used to index past the
+	// per-column width slice.
+	tbl := NewTable("a")
+	tbl.AddRow("x", "y", "zzz")
+	tbl.AddRow(1)
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"a", "x", "zzz", "1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSVLosslessFloats(t *testing.T) {
+	// CSV output must round-trip float64 cells bitwise; the text renderer
+	// may keep rounding to 4 significant digits.
+	vals := []float64{1.2345678901234567, math.Pi, 1e-17, 6.02214076e23, -0.1}
+	tbl := NewTable("v")
+	for _, v := range vals {
+		tbl.AddRow(v)
+	}
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(vals)+1 {
+		t.Fatalf("csv lines %v", lines)
+	}
+	for i, v := range vals {
+		got, err := strconv.ParseFloat(lines[i+1], 64)
+		if err != nil {
+			t.Fatalf("row %d %q: %v", i, lines[i+1], err)
+		}
+		if got != v {
+			t.Fatalf("row %d: parsed %v, want %v (not lossless)", i, got, v)
+		}
+	}
+	// The text renderer still rounds for alignment.
+	var txt strings.Builder
+	if err := tbl.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "3.142") {
+		t.Fatalf("text render should round pi to 4 significant digits:\n%s", txt.String())
 	}
 }
 

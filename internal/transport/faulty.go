@@ -2,9 +2,11 @@ package transport
 
 import (
 	"context"
+	"fmt"
 
 	"sweepsched/internal/faults"
 	"sweepsched/internal/sched"
+	"sweepsched/internal/verify"
 )
 
 // SolveFaultTolerant runs the source iteration on the fault-injected
@@ -36,6 +38,15 @@ func SolveFaultTolerant(ctx context.Context, s *sched.Schedule, cfg Config, plan
 	if err != nil {
 		return nil, nil, err
 	}
+	eng.Observe(cfg.Collector)
+	if cfg.Verify {
+		eng.SetVerify(true)
+	}
+	if cfg.verifyOn() {
+		if err := verify.Schedule(s.Inst, s, verify.Opts{}); err != nil {
+			return nil, eng.Report(), fmt.Errorf("transport: schedule failed the audit: %w", err)
+		}
+	}
 	phi := make([]float64, inst.N())
 	psi := make([]float64, inst.NTasks())
 	// Same cell-balance closure as sweepOnce, reading the previous
@@ -63,5 +74,11 @@ func SolveFaultTolerant(ctx context.Context, s *sched.Schedule, cfg Config, plan
 		}
 	}
 	res.Phi = phi
+	if cfg.verifyOn() {
+		// Cross-check the run's accumulated accounting before reporting it.
+		if err := eng.Audit(); err != nil {
+			return nil, eng.Report(), fmt.Errorf("transport: recovery accounting failed the audit: %w", err)
+		}
+	}
 	return res, eng.Report(), nil
 }

@@ -26,7 +26,9 @@ import (
 	"math"
 	"sync"
 
+	"sweepsched/internal/obs"
 	"sweepsched/internal/sched"
+	"sweepsched/internal/verify"
 )
 
 // Config sets the physics and iteration controls.
@@ -45,7 +47,18 @@ type Config struct {
 	// overrides the uniform Source (used by the multigroup solver to feed
 	// downscatter into a group). Entries must be non-negative.
 	SourceField []float64
+	// Verify audits the schedule with internal/verify before the solve
+	// starts and, on the fault-tolerant path, audits every recovery
+	// reschedule and the final accounting. The SWEEPSCHED_VERIFY
+	// environment variable forces it on.
+	Verify bool
+	// Collector, when non-nil, receives solve counters (iterations) and,
+	// on the fault-tolerant path, the engine's epoch/recovery series.
+	Collector *obs.Collector
 }
+
+// verifyOn reports whether this solve should audit its schedule.
+func (c Config) verifyOn() bool { return c.Verify || verify.ForcedByEnv() }
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Tol <= 0 {
@@ -198,6 +211,12 @@ func SolveCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, erro
 	if err := cfg.validateFor(inst); err != nil {
 		return nil, err
 	}
+	if cfg.verifyOn() {
+		if err := verify.Schedule(inst, s, verify.Opts{}); err != nil {
+			return nil, fmt.Errorf("transport: schedule failed the audit: %w", err)
+		}
+	}
+	span := cfg.Collector.Span("transport.solve.time")
 	order := executionOrder(s)
 	phi := make([]float64, inst.N())
 	psi := make([]float64, inst.NTasks())
@@ -210,6 +229,7 @@ func SolveCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, erro
 		if err := sweepOnce(inst, order, phi, psi, done, cfg); err != nil {
 			return nil, err
 		}
+		cfg.Collector.Counter("transport.iterations").Inc()
 		res.Residual = updatePhi(inst, psi, phi, cfg)
 		res.Iterations = iter
 		if res.Residual < cfg.Tol {
@@ -218,6 +238,7 @@ func SolveCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, erro
 		}
 	}
 	res.Phi = phi
+	span.End()
 	return res, nil
 }
 
@@ -249,6 +270,11 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 	inst := s.Inst
 	if err := cfg.validateFor(inst); err != nil {
 		return nil, err
+	}
+	if cfg.verifyOn() {
+		if err := verify.Schedule(inst, s, verify.Opts{}); err != nil {
+			return nil, fmt.Errorf("transport: schedule failed the audit: %w", err)
+		}
 	}
 	m := inst.M
 	n := int32(inst.N())

@@ -1,0 +1,228 @@
+// Package verify is the runtime schedule auditor: an independent
+// implementation of every feasibility constraint and objective function
+// the scheduling pipeline claims to satisfy, used to cross-check
+// production schedules at runtime (ScheduleOptions.Verify, the
+// SWEEPSCHED_VERIFY environment variable) and, through the differential
+// oracle in oracle.go, to pin the optimized kernels bitwise to the
+// pre-optimization reference implementations in internal/sched/refimpl.
+//
+// The auditor deliberately shares no queue, sort, calendar or counting
+// code with the hot path: checks are written in the most direct serial
+// form (maps, nested loops) so a bug in the optimized kernels cannot
+// hide in shared helpers. Verification is O(tasks + edges) per schedule
+// and allocates freely — it runs only when asked for.
+package verify
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"sweepsched/internal/sched"
+)
+
+// ForcedByEnv reports whether the SWEEPSCHED_VERIFY environment variable
+// (any non-empty value) forces schedule auditing on everywhere — the
+// hook the CI verify pass uses to run the tier-1 suite under the
+// auditor. Read once; changing the variable mid-process has no effect.
+var ForcedByEnv = sync.OnceValue(func() bool {
+	return os.Getenv("SWEEPSCHED_VERIFY") != ""
+})
+
+// Opts selects the optional checks of Schedule and Tasks beyond the
+// structural invariants (which always run).
+type Opts struct {
+	// Release, when non-nil, asserts start[t] >= Release[t] for every
+	// task (the §5.2 random-delay release model).
+	Release []int32
+	// CommDelay > 0 asserts the uniform communication-delay model: a
+	// successor on a different processor starts at least 1+CommDelay
+	// steps after its predecessor.
+	CommDelay int
+	// Metrics, when non-nil, is cross-checked against an independent
+	// recomputation: Makespan against max start + 1, C1 against C1Ref,
+	// C2 against C2Ref.
+	Metrics *sched.Metrics
+}
+
+// Schedule audits a complete schedule against the §3 feasibility
+// constraints and, per opts, the release/comm-delay models and reported
+// metrics. inst may be nil (s.Inst is used); when both are given they
+// must be the same instance. A nil error means every audited invariant
+// holds.
+func Schedule(inst *sched.Instance, s *sched.Schedule, opts Opts) error {
+	if s == nil {
+		return fmt.Errorf("verify: nil schedule")
+	}
+	if inst == nil {
+		inst = s.Inst
+	} else if s.Inst != nil && s.Inst != inst {
+		return fmt.Errorf("verify: schedule built for a different instance")
+	}
+	if inst == nil {
+		return fmt.Errorf("verify: schedule has no instance")
+	}
+	if err := s.Assign.Validate(inst.N(), inst.M); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	nt := inst.NTasks()
+	n := int32(inst.N())
+	proc := make([]int32, nt)
+	for t := 0; t < nt; t++ {
+		proc[t] = s.Assign[int32(t)%n]
+	}
+	if err := Tasks(inst, proc, s.Start, opts); err != nil {
+		return err
+	}
+	// Makespan consistency: the schedule's claim against the start times.
+	maxStart := int32(-1)
+	for _, st := range s.Start {
+		if st > maxStart {
+			maxStart = st
+		}
+	}
+	if s.Makespan != int(maxStart)+1 {
+		return fmt.Errorf("verify: makespan %d inconsistent with max start %d", s.Makespan, maxStart)
+	}
+	if m := opts.Metrics; m != nil {
+		if m.Makespan != s.Makespan {
+			return fmt.Errorf("verify: reported makespan %d, schedule has %d", m.Makespan, s.Makespan)
+		}
+		if want := C1Ref(inst, s.Assign); m.C1 != want {
+			return fmt.Errorf("verify: reported C1 %d, reference recomputation %d", m.C1, want)
+		}
+		if want := C2Ref(s); m.C2 != want {
+			return fmt.Errorf("verify: reported C2 %d, reference recomputation %d", m.C2, want)
+		}
+	}
+	return nil
+}
+
+// Tasks audits a schedule given as parallel per-task processor and start
+// slices. This lower-level form can express states a sched.Schedule
+// structurally cannot — in particular copies of one cell split across
+// processors — which is what lets the corruption tests prove the
+// split-cell check fires. Checks: coverage (start >= 0), processor
+// range, all k copies of a cell on one processor, release feasibility,
+// per-direction DAG precedence with the comm-delay gap on cross-
+// processor edges, and <= 1 task per processor per step.
+func Tasks(inst *sched.Instance, proc []int32, start []int32, opts Opts) error {
+	nt := inst.NTasks()
+	n := int32(inst.N())
+	if len(proc) != nt {
+		return fmt.Errorf("verify: processor slice covers %d of %d tasks", len(proc), nt)
+	}
+	if len(start) != nt {
+		return fmt.Errorf("verify: start slice covers %d of %d tasks", len(start), nt)
+	}
+	if opts.Release != nil && len(opts.Release) != nt {
+		return fmt.Errorf("verify: release slice covers %d of %d tasks", len(opts.Release), nt)
+	}
+	if opts.CommDelay < 0 {
+		return fmt.Errorf("verify: negative comm delay %d", opts.CommDelay)
+	}
+	for t := 0; t < nt; t++ {
+		if start[t] < 0 {
+			return fmt.Errorf("verify: task %d unscheduled (start %d)", t, start[t])
+		}
+		if proc[t] < 0 || int(proc[t]) >= inst.M {
+			return fmt.Errorf("verify: task %d on processor %d (m=%d)", t, proc[t], inst.M)
+		}
+		if opts.Release != nil && start[t] < opts.Release[t] {
+			return fmt.Errorf("verify: task %d starts at %d before release %d", t, start[t], opts.Release[t])
+		}
+	}
+	// All k copies of a cell on one processor (§3, constraint 3).
+	for v := int32(0); v < n; v++ {
+		p0 := proc[v]
+		for i := int32(1); i < int32(inst.K()); i++ {
+			if p := proc[i*n+v]; p != p0 {
+				return fmt.Errorf("verify: cell %d split across processors %d (dir 0) and %d (dir %d)", v, p0, p, i)
+			}
+		}
+	}
+	// Precedence within every direction DAG, with the comm-delay gap on
+	// cross-processor edges.
+	cd := int32(opts.CommDelay)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for u := int32(0); u < n; u++ {
+			ut := base + u
+			for _, w := range d.Out(u) {
+				wt := base + w
+				gap := int32(1)
+				if cd > 0 && proc[ut] != proc[wt] {
+					gap += cd
+				}
+				if start[wt] < start[ut]+gap {
+					return fmt.Errorf("verify: precedence violated in dir %d: cell %d@%d -> cell %d@%d needs gap %d",
+						i, u, start[ut], w, start[wt], gap)
+				}
+			}
+		}
+	}
+	// Processor exclusivity: <= 1 task per processor per step.
+	type slot struct{ p, step int32 }
+	seen := make(map[slot]int, nt)
+	for t := 0; t < nt; t++ {
+		key := slot{proc[t], start[t]}
+		if prev, ok := seen[key]; ok {
+			return fmt.Errorf("verify: processor %d runs tasks %d and %d at step %d", key.p, prev, t, key.step)
+		}
+		seen[key] = t
+	}
+	return nil
+}
+
+// C1Ref recomputes C1 — the number of DAG edges whose endpoint cells
+// live on different processors — in the most direct serial form,
+// independent of the parallel production counter (sched.C1).
+func C1Ref(inst *sched.Instance, assign sched.Assignment) int64 {
+	var cut int64
+	for _, d := range inst.DAGs {
+		for u := int32(0); u < int32(d.N); u++ {
+			for _, w := range d.Out(u) {
+				if assign[u] != assign[w] {
+					cut++
+				}
+			}
+		}
+	}
+	return cut
+}
+
+// C2Ref recomputes C2 under the repository's edge-counting convention
+// (documented in DESIGN.md §5 and matched by internal/simulate): after
+// every step, each processor sends one message per cross-processor edge
+// out of its tasks finishing that step, and the step is charged the
+// maximum over processors. Written with maps and per-step scans,
+// sharing nothing with the chunked parallel production counter
+// (sched.C2).
+func C2Ref(s *sched.Schedule) int64 {
+	inst := s.Inst
+	byStep := make(map[int32][]sched.TaskID)
+	for t, st := range s.Start {
+		byStep[st] = append(byStep[st], sched.TaskID(t))
+	}
+	var total int64
+	for st := int32(0); st < int32(s.Makespan); st++ {
+		sends := make(map[int32]int64)
+		for _, t := range byStep[st] {
+			v, i := inst.Split(t)
+			p := s.Assign[v]
+			for _, w := range inst.DAGs[i].Out(v) {
+				if s.Assign[w] != p {
+					sends[p]++
+				}
+			}
+		}
+		var max int64
+		for _, c := range sends {
+			if c > max {
+				max = c
+			}
+		}
+		total += max
+	}
+	return total
+}
