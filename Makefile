@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience fuzz bench bench-record benchstat bench-smoke verify
+.PHONY: check ci race resilience fuzz bench bench-dag bench-record benchstat bench-smoke verify
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -25,6 +25,7 @@ resilience:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFromEdges$$' -fuzztime 10s ./internal/dag
+	$(GO) test -run '^$$' -fuzz '^FuzzBuildEquivalence$$' -fuzztime 10s ./internal/dag
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/mesh
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTrace$$' -fuzztime 10s ./internal/sched
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime 10s ./internal/faults
@@ -40,9 +41,18 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule/' .
 	$(GO) test -run '^$$' -bench 'Benchmark(ScheduleKernel|CommKernel)/' -benchmem ./internal/sched
 
-# Reproduce the numbers recorded in BENCH_PR1.json and BENCH_PR3.json.
+# The DAG-family construction benchmarks (PR 5): frozen pre-skeleton
+# reference vs cold (fresh DAGs) vs warm (recycled skeleton + builder +
+# destination arrays) on the largest paper mesh family, with allocation
+# counts. Recorded numbers live in BENCH_PR5.json.
+bench-dag:
+	$(GO) test -run '^$$' -bench 'Benchmark(BuildInto|BuildAllFamily)/' -benchmem ./internal/dag
+
+# Reproduce the numbers recorded in BENCH_PR1.json, BENCH_PR3.json and
+# BENCH_PR5.json.
 bench-record:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuildAll/' -count 5 ./internal/dag
+	$(GO) test -run '^$$' -bench 'Benchmark(BuildInto|BuildAllFamily)/' -benchmem -count 5 ./internal/dag
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule/' -count 5 .
 	$(GO) test -run '^$$' -bench 'Benchmark(ScheduleKernel|CommKernel)/' -benchmem -count 5 ./internal/sched
 

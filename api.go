@@ -30,6 +30,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sweepsched/internal/core"
 	"sweepsched/internal/dag"
@@ -93,6 +94,12 @@ type Mesh = mesh.Mesh
 // set with its induced DAGs, and a processor count.
 type Problem struct {
 	inst *sched.Instance
+
+	// verifySeq numbers the audited-schedule runs on this problem for
+	// ScheduleOptions.VerifyEvery sampling. It is the only mutable state
+	// a Problem carries; it never influences scheduling output, only
+	// which runs pay for the audit.
+	verifySeq atomic.Uint64
 }
 
 // MeshFamilies lists the built-in synthetic analogues of the paper's
@@ -220,6 +227,13 @@ type ScheduleOptions struct {
 	// violated. Off by default (it costs O(tasks+edges) extra per run);
 	// the SWEEPSCHED_VERIFY environment variable forces it on everywhere.
 	Verify bool
+	// VerifyEvery samples the audit when verification is on: only every
+	// Nth scheduling run on this Problem is audited (the first run always
+	// is), so sustained run loops can keep the audit enabled at a
+	// fraction of its cost. 0 or 1 audits every run (the historical
+	// behavior). Skipped audits are counted in the Collector as
+	// "api.verify_skipped". Sampling never changes scheduling output.
+	VerifyEvery int
 	// Collector, when non-nil, receives counters and stage timings from
 	// the run (assignment, scheduling, metrics, verification and the
 	// kernel-level sched.* series). A nil collector costs nothing on the
@@ -227,8 +241,22 @@ type ScheduleOptions struct {
 	Collector *obs.Collector
 }
 
-// verifyOn reports whether this run should be audited.
+// verifyOn reports whether this run has verification enabled at all.
 func (o ScheduleOptions) verifyOn() bool { return o.Verify || verify.ForcedByEnv() }
+
+// shouldVerify reports whether this particular run is audited,
+// advancing the problem's VerifyEvery sampling sequence. With
+// VerifyEvery ≤ 1 every verified run is audited and the sequence is
+// untouched.
+func (p *Problem) shouldVerify(o ScheduleOptions) bool {
+	if !o.verifyOn() {
+		return false
+	}
+	if o.VerifyEvery <= 1 {
+		return true
+	}
+	return (p.verifySeq.Add(1)-1)%uint64(o.VerifyEvery) == 0
+}
 
 // Result is a completed scheduling run.
 type Result struct {
@@ -292,10 +320,13 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 		return nil, fmt.Errorf("sweepsched: comm-delay constraint violated: %w", err)
 	}
 	met := sched.Measure(s, opts.Workers)
-	if opts.verifyOn() {
+	if p.shouldVerify(opts) {
 		if err := verify.Schedule(p.inst, s, verify.Opts{CommDelay: commDelay, Metrics: &met}); err != nil {
 			return nil, fmt.Errorf("sweepsched: comm schedule failed the audit: %w", err)
 		}
+		opts.Collector.Counter("api.verified").Inc()
+	} else if opts.verifyOn() {
+		opts.Collector.Counter("api.verify_skipped").Inc()
 	}
 	return &Result{
 		Schedule: s,

@@ -37,6 +37,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		workers    = flag.Int("workers", 0, "goroutines for experiment rows and per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
 		doVerify   = flag.Bool("verify", false, "audit every produced schedule with the internal/verify auditor (fails fast on the first violation)")
+		verifyN    = flag.Int("verify-every", 1, "with -verify, audit only every Nth trial (1 = every trial)")
 		doStats    = flag.Bool("stats", false, "print accumulated counters and stage timings after the experiments")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,14 +81,15 @@ func main() {
 		fatal(err)
 	}
 	cfg := experiments.Config{
-		Scale:   *scale,
-		Seed:    *seed,
-		Trials:  *trials,
-		Procs:   procList,
-		Out:     os.Stdout,
-		CSV:     *csv,
-		Workers: *workers,
-		Verify:  *doVerify,
+		Scale:       *scale,
+		Seed:        *seed,
+		Trials:      *trials,
+		Procs:       procList,
+		Out:         os.Stdout,
+		CSV:         *csv,
+		Workers:     *workers,
+		Verify:      *doVerify,
+		VerifyEvery: *verifyN,
 	}
 	if *doStats {
 		cfg.Collector = obs.New()

@@ -43,6 +43,7 @@ func main() {
 		weighted   = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
 		workers    = flag.Int("workers", 0, "goroutines for per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
 		doVerify   = flag.Bool("verify", false, "audit the schedule with the internal/verify auditor (independent recomputation of every constraint and metric)")
+		verifyN    = flag.Int("verify-every", 1, "with -verify, audit only every Nth scheduling run (1 = every run)")
 		doStats    = flag.Bool("stats", false, "print the run's counters and stage timings on exit")
 		doFaults   = flag.Bool("faults", false, "execute under an injected fault plan with checkpointed recovery")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the fault plan (independent of -seed)")
@@ -108,7 +109,7 @@ func main() {
 	fmt.Printf("lower bounds: nk/m=%.1f k=%d D=%d (max %d)\n",
 		bounds.Load, bounds.PerCell, bounds.CriticalPath, bounds.Max())
 
-	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed, Workers: *workers, Verify: *doVerify}
+	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed, Workers: *workers, Verify: *doVerify, VerifyEvery: *verifyN}
 	var col *sweepsched.StatsCollector
 	if *doStats {
 		col = sweepsched.NewStatsCollector()

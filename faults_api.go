@@ -106,7 +106,7 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 	mspan := col.Span("api.metrics.time")
 	met := sched.Measure(s, opts.Workers)
 	mspan.End()
-	if opts.verifyOn() {
+	if p.shouldVerify(opts) {
 		vspan := col.Span("api.verify.time")
 		err := verify.Schedule(p.inst, s, verify.Opts{Metrics: &met})
 		vspan.End()
@@ -114,6 +114,8 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 			return nil, fmt.Errorf("sweepsched: scheduler %s failed the schedule audit: %w", alg, err)
 		}
 		col.Counter("api.verified").Inc()
+	} else if opts.verifyOn() {
+		col.Counter("api.verify_skipped").Inc()
 	}
 	return &Result{
 		Schedule: s,

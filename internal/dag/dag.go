@@ -57,76 +57,18 @@ func (d *DAG) NumEdges() int { return len(d.out) }
 const Eps = 1e-9
 
 // Build induces the DAG for one direction. Cycles, which arise on
-// unstructured meshes, are broken by discarding DFS back edges.
+// unstructured meshes, are broken by discarding DFS back edges. It is a
+// convenience wrapper over the skeleton/builder path — callers building
+// many directions over one mesh should extract the Skeleton once and
+// reuse pooled Builders (or a Family), which amortizes the face walk
+// and all scratch allocation. Output is bitwise-identical either way
+// (and to the frozen pre-skeleton reference in internal/dag/refimpl).
 func Build(m *mesh.Mesh, dir geom.Vec3) *DAG {
-	n := m.NCells()
-	type edge struct{ u, v int32 }
-	edges := make([]edge, 0, m.NInteriorFaces())
-	for i := range m.Faces {
-		f := &m.Faces[i]
-		if f.C1 == mesh.NoCell {
-			continue
-		}
-		dot := f.Normal.Dot(dir)
-		switch {
-		case dot > Eps:
-			edges = append(edges, edge{f.C0, f.C1})
-		case dot < -Eps:
-			edges = append(edges, edge{f.C1, f.C0})
-		}
-	}
-
-	d := &DAG{N: n}
-	buildCSR := func() {
-		d.outStart = make([]int32, n+1)
-		for _, e := range edges {
-			d.outStart[e.u+1]++
-		}
-		for i := 0; i < n; i++ {
-			d.outStart[i+1] += d.outStart[i]
-		}
-		d.out = make([]int32, len(edges))
-		cursor := make([]int32, n)
-		for _, e := range edges {
-			d.out[d.outStart[e.u]+cursor[e.u]] = e.v
-			cursor[e.u]++
-		}
-	}
-	buildCSR()
-
-	if removed := d.breakCycles(); removed > 0 {
-		d.RemovedEdges = removed
-		// Compact the out lists: breakCycles marks removed targets as -1.
-		kept := edges[:0]
-		for u := int32(0); u < int32(n); u++ {
-			for _, v := range d.Out(u) {
-				if v >= 0 {
-					kept = append(kept, edge{u, v})
-				}
-			}
-		}
-		edges = kept
-		buildCSR()
-	}
-
-	// In-adjacency.
-	d.inStart = make([]int32, n+1)
-	for _, v := range d.out {
-		d.inStart[v+1]++
-	}
-	for i := 0; i < n; i++ {
-		d.inStart[i+1] += d.inStart[i]
-	}
-	d.in = make([]int32, len(d.out))
-	cursor := make([]int32, n)
-	for u := int32(0); u < int32(n); u++ {
-		for _, v := range d.Out(u) {
-			d.in[d.inStart[v]+cursor[v]] = u
-			cursor[v]++
-		}
-	}
-
-	d.computeLevels()
+	skel := NewSkeleton(m)
+	b := GetBuilder(skel)
+	defer b.Release()
+	d := &DAG{}
+	b.BuildInto(d, skel, dir)
 	return d
 }
 
@@ -455,14 +397,40 @@ func BuildAll(m *mesh.Mesh, dirs []geom.Vec3) []*DAG {
 
 // BuildAllWorkers is BuildAll with an explicit worker bound (<= 0 selects
 // GOMAXPROCS). Direction i's DAG is built independently into slot i, so the
-// result is identical for every worker count.
+// result is identical for every worker count. The mesh's skeleton is
+// extracted once and shared by every worker; each direction draws a
+// pooled Builder, so the per-direction scratch is recycled across the
+// family.
 func BuildAllWorkers(m *mesh.Mesh, dirs []geom.Vec3, workers int) []*DAG {
-	dags := make([]*DAG, len(dirs))
+	return BuildAllSkeleton(NewSkeleton(m), dirs, workers)
+}
+
+// BuildAllSkeleton builds the DAG family for every direction over a
+// pre-extracted skeleton, allocating fresh destination DAGs.
+func BuildAllSkeleton(skel *Skeleton, dirs []geom.Vec3, workers int) []*DAG {
+	return BuildAllInto(make([]*DAG, len(dirs)), skel, dirs, workers)
+}
+
+// BuildAllInto builds direction i's DAG into dst[i] (nil slots are
+// allocated, non-nil DAGs are recycled in place), fanning the
+// per-direction work over a bounded pool with index-slot writes so the
+// result is identical for every worker count. dst must have
+// len(dirs) slots; it is returned for convenience. Recycled DAGs must
+// not still be in use: their contents are overwritten.
+func BuildAllInto(dst []*DAG, skel *Skeleton, dirs []geom.Vec3, workers int) []*DAG {
+	if len(dst) != len(dirs) {
+		panic(fmt.Sprintf("dag: %d destination slots for %d directions", len(dst), len(dirs)))
+	}
 	_ = par.ForEach(len(dirs), workers, func(i int) error {
-		dags[i] = Build(m, dirs[i])
+		b := GetBuilder(skel)
+		if dst[i] == nil {
+			dst[i] = &DAG{}
+		}
+		b.BuildInto(dst[i], skel, dirs[i])
+		b.Release()
 		return nil
 	})
-	return dags
+	return dst
 }
 
 // WidthProfile returns the number of cells at each level (index 0 unused;

@@ -369,7 +369,11 @@ func BenchmarkBuildAll24(b *testing.B) {
 }
 
 // BenchmarkBuildAll sweeps worker counts over a k=24-direction instance;
-// workers=1 is the serial baseline the parallel rows are compared against.
+// workers=1 is the serial baseline the parallel rows are compared
+// against. The cold rows build fresh DAGs each iteration (the
+// BuildAllWorkers entry point); the warm rows recycle a Family's
+// skeleton and DAG storage, the steady state of trial loops that
+// rebuild DAG families.
 func BenchmarkBuildAll(b *testing.B) {
 	m := mesh.KuhnBox(mesh.BoxSpec{NX: 10, NY: 10, NZ: 10, Jitter: 0.15, Seed: 1})
 	dirs, _ := quadrature.Octant(24)
@@ -377,6 +381,16 @@ func BenchmarkBuildAll(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				BuildAllWorkers(m, dirs, workers)
+			}
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("warm/workers=%d", workers), func(b *testing.B) {
+			fam := NewFamily(m)
+			fam.BuildAll(dirs, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fam.BuildAll(dirs, workers)
 			}
 		})
 	}

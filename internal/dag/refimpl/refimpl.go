@@ -1,0 +1,228 @@
+// Package refimpl preserves the pre-skeleton DAG induction verbatim:
+// the geometric Build that re-walks every mesh face, allocates a fresh
+// edge list, CSR arrays, DFS cycle-break scratch and level arrays per
+// call. It was the production builder before the amortized
+// skeleton/builder rewrite and is deliberately left untouched by later
+// optimization work, which makes it an independent differential oracle:
+// the dag package's property and fuzz tests (TestBuildMatchesReference,
+// FuzzBuildEquivalence) replay meshes and directions through both this
+// and the optimized dag.Build/Builder.BuildInto and demand
+// bitwise-identical CSR contents, levels and RemovedEdges. The
+// before/after DAG benchmarks (BENCH_PR5.json) use the same function as
+// the "ref" baseline.
+//
+// Do not optimize this package. Its value is that it shares no
+// skeleton, builder or scratch code with the hot path. The only
+// additions over the frozen code are the exported accessors at the
+// bottom, which the differential harness needs to read the CSR halves
+// from outside the package.
+package refimpl
+
+import (
+	"fmt"
+
+	"sweepsched/internal/geom"
+	"sweepsched/internal/mesh"
+)
+
+// DAG is one direction's precedence graph over mesh cells in CSR form (both
+// out- and in-adjacency), with topological levels precomputed.
+type DAG struct {
+	N int // number of cells
+
+	outStart []int32
+	out      []int32
+	inStart  []int32
+	in       []int32
+
+	// Level[v] is the 1-based topological level of cell v; NumLevels is the
+	// maximum (the critical path length in unit tasks).
+	Level     []int32
+	NumLevels int
+
+	// RemovedEdges counts edges dropped to break cycles.
+	RemovedEdges int
+}
+
+// Out returns v's successors. The slice aliases internal storage.
+func (d *DAG) Out(v int32) []int32 { return d.out[d.outStart[v]:d.outStart[v+1]] }
+
+// In returns v's predecessors. The slice aliases internal storage.
+func (d *DAG) In(v int32) []int32 { return d.in[d.inStart[v]:d.inStart[v+1]] }
+
+// InDegree returns the number of predecessors of v.
+func (d *DAG) InDegree(v int32) int { return int(d.inStart[v+1] - d.inStart[v]) }
+
+// Eps is the face-normal/direction alignment threshold below which a face is
+// treated as parallel to the sweep (no dependence across it).
+const Eps = 1e-9
+
+// Build induces the DAG for one direction. Cycles, which arise on
+// unstructured meshes, are broken by discarding DFS back edges.
+func Build(m *mesh.Mesh, dir geom.Vec3) *DAG {
+	n := m.NCells()
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, m.NInteriorFaces())
+	for i := range m.Faces {
+		f := &m.Faces[i]
+		if f.C1 == mesh.NoCell {
+			continue
+		}
+		dot := f.Normal.Dot(dir)
+		switch {
+		case dot > Eps:
+			edges = append(edges, edge{f.C0, f.C1})
+		case dot < -Eps:
+			edges = append(edges, edge{f.C1, f.C0})
+		}
+	}
+
+	d := &DAG{N: n}
+	buildCSR := func() {
+		d.outStart = make([]int32, n+1)
+		for _, e := range edges {
+			d.outStart[e.u+1]++
+		}
+		for i := 0; i < n; i++ {
+			d.outStart[i+1] += d.outStart[i]
+		}
+		d.out = make([]int32, len(edges))
+		cursor := make([]int32, n)
+		for _, e := range edges {
+			d.out[d.outStart[e.u]+cursor[e.u]] = e.v
+			cursor[e.u]++
+		}
+	}
+	buildCSR()
+
+	if removed := d.breakCycles(); removed > 0 {
+		d.RemovedEdges = removed
+		// Compact the out lists: breakCycles marks removed targets as -1.
+		kept := edges[:0]
+		for u := int32(0); u < int32(n); u++ {
+			for _, v := range d.Out(u) {
+				if v >= 0 {
+					kept = append(kept, edge{u, v})
+				}
+			}
+		}
+		edges = kept
+		buildCSR()
+	}
+
+	// In-adjacency.
+	d.inStart = make([]int32, n+1)
+	for _, v := range d.out {
+		d.inStart[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		d.inStart[i+1] += d.inStart[i]
+	}
+	d.in = make([]int32, len(d.out))
+	cursor := make([]int32, n)
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range d.Out(u) {
+			d.in[d.inStart[v]+cursor[v]] = u
+			cursor[v]++
+		}
+	}
+
+	d.computeLevels()
+	return d
+}
+
+// breakCycles runs an iterative DFS over the out-adjacency and overwrites
+// the target of every back edge with -1, returning the number of edges
+// removed. The caller rebuilds the CSR afterwards.
+func (d *DAG) breakCycles() int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, d.N)
+	removed := 0
+	type frame struct {
+		v    int32
+		next int32 // index into out[outStart[v]:...]
+	}
+	var stack []frame
+	for s := int32(0); s < int32(d.N); s++ {
+		if color[s] != white {
+			continue
+		}
+		color[s] = gray
+		stack = append(stack[:0], frame{v: s})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			lo, hi := d.outStart[f.v], d.outStart[f.v+1]
+			if f.next == hi-lo {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			idx := lo + f.next
+			f.next++
+			w := d.out[idx]
+			if w < 0 {
+				continue
+			}
+			switch color[w] {
+			case white:
+				color[w] = gray
+				stack = append(stack, frame{v: w})
+			case gray:
+				d.out[idx] = -1 // back edge: remove
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// computeLevels performs Kahn peeling, assigning 1-based levels. It panics
+// if a cycle survives (breakCycles guarantees none does).
+func (d *DAG) computeLevels() {
+	n := d.N
+	indeg := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		indeg[v] = int32(d.InDegree(v))
+	}
+	d.Level = make([]int32, n)
+	queue := make([]int32, 0, n)
+	for v := int32(0); v < int32(n); v++ {
+		if indeg[v] == 0 {
+			d.Level[v] = 1
+			queue = append(queue, v)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		lv := d.Level[v]
+		if int(lv) > d.NumLevels {
+			d.NumLevels = int(lv)
+		}
+		for _, w := range d.Out(v) {
+			if d.Level[w] < lv+1 {
+				d.Level[w] = lv + 1
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if done != n {
+		panic(fmt.Sprintf("dag: %d of %d cells unreachable in level peel (cycle?)", n-done, n))
+	}
+}
+
+// CSR exposes the four adjacency arrays for the differential harness
+// (added for the oracle; not part of the frozen code above). The slices
+// alias internal storage.
+func (d *DAG) CSR() (outStart, out, inStart, in []int32) {
+	return d.outStart, d.out, d.inStart, d.in
+}

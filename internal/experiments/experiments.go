@@ -46,10 +46,17 @@ type Config struct {
 	// C1/C2 accumulation) of each run (0 = GOMAXPROCS). Output is
 	// identical regardless.
 	Workers int
-	// Verify audits every schedule an experiment produces with
+	// Verify audits schedules an experiment produces with
 	// internal/verify and fails the experiment on the first violation.
 	// The SWEEPSCHED_VERIFY environment variable forces it on.
 	Verify bool
+	// VerifyEvery samples the audit when Verify is on: only every Nth
+	// trial (trial indices 0, N, 2N, ...) is verified, so long sweeps can
+	// keep an always-on audit at a fraction of its serial recomputation
+	// cost. 0 or 1 audits every trial (the historical behavior). Sampled
+	// and skipped audits are counted separately in the Collector
+	// ("experiments.verified", "experiments.verify_skipped").
+	VerifyEvery int
 	// Collector, when non-nil, accumulates trial counters and stage
 	// timings across the experiment's runs.
 	Collector *obs.Collector
@@ -79,7 +86,16 @@ func (c Config) withDefaults() Config {
 	if verify.ForcedByEnv() {
 		c.Verify = true
 	}
+	if c.VerifyEvery <= 0 {
+		c.VerifyEvery = 1
+	}
 	return c
+}
+
+// auditTrial reports whether the given trial index is audited under the
+// configured verification sampling.
+func (c Config) auditTrial(trial int) bool {
+	return c.Verify && trial%c.VerifyEvery == 0
 }
 
 // Runner executes one experiment.
@@ -128,10 +144,24 @@ type Workload struct {
 
 	Mesh *mesh.Mesh
 	Dirs []geom.Vec3
-	DAGs []*dag.DAG
+	// Family owns the mesh skeleton and the DAG storage; DAGs is its
+	// most recent build. Rebuilding through the family (for example
+	// with a different direction set) recycles the DAG arrays in place,
+	// invalidating DAGs.
+	Family *dag.Family
+	DAGs   []*dag.DAG
 
 	mu         sync.Mutex
-	blockCache map[int]blockPartition
+	blockCache map[blockKey]blockPartition
+}
+
+// blockKey identifies a cached block partition. The seed is part of the
+// key: two calls with the same block size but different seeds are
+// independent random partitions, and caching on size alone would hand
+// the second caller the first caller's partition.
+type blockKey struct {
+	size int
+	seed uint64
 }
 
 type blockPartition struct {
@@ -151,13 +181,15 @@ func NewWorkload(cfg Config, meshName string, k int) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	fam := dag.NewFamily(m)
 	return &Workload{
 		MeshName:   meshName,
 		K:          k,
 		Mesh:       m,
 		Dirs:       dirs,
-		DAGs:       dag.BuildAll(m, dirs),
-		blockCache: map[int]blockPartition{},
+		Family:     fam,
+		DAGs:       fam.BuildAll(dirs, cfg.Workers),
+		blockCache: map[blockKey]blockPartition{},
 	}, nil
 }
 
@@ -179,7 +211,8 @@ func (w *Workload) Instance(m int) (*sched.Instance, error) {
 func (w *Workload) BlockPartition(blockSize int, seed uint64) ([]int32, int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if bp, ok := w.blockCache[blockSize]; ok {
+	key := blockKey{blockSize, seed}
+	if bp, ok := w.blockCache[key]; ok {
 		return bp.part, bp.nBlocks, nil
 	}
 	g := partition.FromMesh(w.Mesh)
@@ -187,7 +220,7 @@ func (w *Workload) BlockPartition(blockSize int, seed uint64) ([]int32, int, err
 	if err != nil {
 		return nil, 0, err
 	}
-	w.blockCache[blockSize] = blockPartition{part, nBlocks}
+	w.blockCache[key] = blockPartition{part, nBlocks}
 	return part, nBlocks, nil
 }
 
@@ -217,11 +250,13 @@ func meanMakespanRatio(cfg Config, inst *sched.Instance, seedTag uint64,
 			return 0, 0, err
 		}
 		cfg.Collector.Counter("experiments.trials").Inc()
-		if cfg.Verify {
+		if cfg.auditTrial(trial) {
 			if err := verify.Schedule(inst, s, verify.Opts{}); err != nil {
 				return 0, 0, fmt.Errorf("experiments: trial %d failed the schedule audit: %w", trial, err)
 			}
 			cfg.Collector.Counter("experiments.verified").Inc()
+		} else if cfg.Verify {
+			cfg.Collector.Counter("experiments.verify_skipped").Inc()
 		}
 		sumMs += float64(s.Makespan)
 		sumRatio += lb.Ratio(s.Makespan, inst)

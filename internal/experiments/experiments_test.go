@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sweepsched/internal/core"
+	"sweepsched/internal/obs"
 	"sweepsched/internal/rng"
 	"sweepsched/internal/sched"
 )
@@ -57,6 +58,11 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 }
 
+// TestWorkloadCachesBlocks pins the (blockSize, seed) cache key: the
+// same pair is cached (identical backing slice, no recomputation) while
+// a different seed yields an independent random partition. The cache
+// used to key on size alone, silently handing every seed the first
+// seed's partition.
 func TestWorkloadCachesBlocks(t *testing.T) {
 	var out strings.Builder
 	w, err := NewWorkload(tinyConfig(&out), "tetonly", 8)
@@ -67,17 +73,29 @@ func TestWorkloadCachesBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, n2, err := w.BlockPartition(16, 999) // different seed: cache must win
+	p1again, n1again, err := w.BlockPartition(16, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n1 != n2 {
-		t.Fatalf("block counts differ: %d vs %d", n1, n2)
+	if n1 != n1again || &p1[0] != &p1again[0] {
+		t.Fatal("same (size, seed) not served from the cache")
 	}
+	p2, _, err := w.BlockPartition(16, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] == &p2[0] {
+		t.Fatal("different seed served the cached partition of another seed")
+	}
+	same := true
 	for i := range p1 {
 		if p1[i] != p2[i] {
-			t.Fatal("block partition not cached")
+			same = false
+			break
 		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 999 produced identical partitions; the seed is being ignored")
 	}
 }
 
@@ -203,5 +221,42 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Scale <= 0 || c.Trials <= 0 || c.Procs == nil || c.Out == nil {
 		t.Fatalf("defaults incomplete: %+v", c)
+	}
+}
+
+// TestVerifyEverySamplesAudits checks the audit sampling: VerifyEvery=2
+// over an even number of trials audits exactly half of them (trial 0
+// always included), and the default audits every trial with no skips.
+func TestVerifyEverySamplesAudits(t *testing.T) {
+	var out strings.Builder
+	cfg := tinyConfig(&out)
+	cfg.Trials = 4
+	cfg.Verify = true
+	cfg.VerifyEvery = 2
+	cfg.Collector = obs.New()
+	if err := Run("fig2a", cfg); err != nil {
+		t.Fatal(err)
+	}
+	verified := cfg.Collector.Counter("experiments.verified").Value()
+	skipped := cfg.Collector.Counter("experiments.verify_skipped").Value()
+	if verified == 0 || skipped == 0 {
+		t.Fatalf("sampled audit: verified=%d skipped=%d, want both > 0", verified, skipped)
+	}
+	if verified != skipped {
+		t.Fatalf("every=2 over %d trials: verified=%d skipped=%d, want equal", cfg.Trials, verified, skipped)
+	}
+
+	cfg = tinyConfig(&out)
+	cfg.Trials = 2
+	cfg.Verify = true
+	cfg.Collector = obs.New()
+	if err := Run("fig2a", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if skipped := cfg.Collector.Counter("experiments.verify_skipped").Value(); skipped != 0 {
+		t.Fatalf("default sampling skipped %d audits", skipped)
+	}
+	if cfg.Collector.Counter("experiments.verified").Value() == 0 {
+		t.Fatal("default sampling audited nothing")
 	}
 }

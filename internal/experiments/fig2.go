@@ -110,12 +110,15 @@ func Fig2b(cfg Config) error {
 					return err
 				}
 				met := sched.Measure(s, cfg.Workers)
-				if cfg.Verify {
+				if cfg.auditTrial(trial) {
 					// Metrics cross-check: the table's C1/C2 must match the
 					// auditor's serial recomputation.
 					if err := verify.Schedule(inst, s, verify.Opts{Metrics: &met}); err != nil {
 						return fmt.Errorf("experiments: fig2b m=%d bs=%d trial %d: %w", m, bs, trial, err)
 					}
+					cfg.Collector.Counter("experiments.verified").Inc()
+				} else if cfg.Verify {
+					cfg.Collector.Counter("experiments.verify_skipped").Inc()
 				}
 				sum1 += met.C1
 				sum2 += met.C2
