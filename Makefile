@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience fuzz bench bench-dag bench-record benchstat bench-smoke verify
+.PHONY: check ci race resilience fuzz bench bench-dag bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -29,9 +29,30 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/mesh
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTrace$$' -fuzztime 10s ./internal/sched
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime 10s ./internal/faults
+	$(GO) test -run '^$$' -fuzz '^FuzzScheduleRequest$$' -fuzztime 10s ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzTransportRequest$$' -fuzztime 10s ./internal/service
 
 ci:
 	./ci.sh
+
+# The sweepschedd daemon suite under the race detector plus a short
+# in-process loadtest smoke (8 clients against the paper tetonly mesh,
+# server-side sampled audits on; see ci.sh).
+service:
+	$(GO) test -race -count=1 ./internal/service ./internal/cliutil ./internal/obs
+	$(GO) run ./cmd/sweeploadtest -clients 8 -requests 4 -scale 0.02 -k 8 -m 16 -verify-every 4 -out /dev/null
+
+# Record the service load/soak numbers in BENCH_PR6.json: 8 concurrent
+# clients, cold (unique meshes) vs warm (identical request) phases on a
+# paper-scale tetonly mesh with sampled runtime audits enabled.
+loadtest:
+	$(GO) run ./cmd/sweeploadtest -clients 8 -requests 25 -mesh tetonly -scale 0.05 \
+	    -k 24 -m 64 -verify-every 8 -out BENCH_PR6.json
+
+# Same harness, small enough for CI.
+loadtest-smoke:
+	$(GO) run ./cmd/sweeploadtest -clients 8 -requests 5 -scale 0.02 -k 8 -m 16 \
+	    -verify-every 4 -out /dev/null
 
 # The workers-sweep benchmarks of the parallel per-direction pipeline plus
 # the old-vs-new scheduling-kernel comparison (ref = container/heap + map

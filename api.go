@@ -136,6 +136,30 @@ func NewProblemFromDirections(msh *Mesh, dirs []Vec3, m int) (*Problem, error) {
 	return &Problem{inst: inst}, nil
 }
 
+// NewProblemFromPrebuiltDAGs wraps a mesh, its direction set and the
+// already-induced per-direction DAGs in a Problem without rebuilding
+// them. This is the cache hook of internal/service: the daemon's
+// DAG-family tier keeps immutable DAG sets (induced over a cached
+// dag.Skeleton) and turns them into ready-to-schedule Problems here.
+// dags[i] must be the DAG induced on msh by dirs[i]; all DAGs must
+// cover the same cell set. msh may be nil for non-geometric families
+// (block partitioning is then rejected at Schedule time, as usual).
+func NewProblemFromPrebuiltDAGs(msh *Mesh, dirs []Vec3, dags []*dag.DAG, procs int) (*Problem, error) {
+	if len(dirs) != len(dags) {
+		return nil, fmt.Errorf("sweepsched: %d directions but %d DAGs", len(dirs), len(dags))
+	}
+	inst, err := sched.FromDAGs(dags, procs)
+	if err != nil {
+		return nil, err
+	}
+	if msh != nil && msh.NCells() != inst.N() {
+		return nil, fmt.Errorf("sweepsched: mesh has %d cells but DAGs cover %d", msh.NCells(), inst.N())
+	}
+	inst.Mesh = msh
+	inst.Dirs = dirs
+	return &Problem{inst: inst}, nil
+}
+
 // NonGeometricKind names a synthetic DAG-family generator for instances
 // with no underlying mesh (§2: the algorithms "are applicable even to
 // non-geometric instances").

@@ -40,11 +40,21 @@ go test -run '^$' -bench . -benchtime 1x ./...
 echo "== dag builder bench smoke (allocation-counted; see make bench-dag) =="
 go test -run '^$' -bench 'Benchmark(BuildInto|BuildAllFamily)/' -benchmem -benchtime 1x ./internal/dag
 
+echo "== service: sweepschedd daemon suite under -race + loadtest smoke =="
+# The HTTP service's integration tests (cache tiers, coalescing,
+# admission 429s, cancellation, drain) run race-enabled, then a short
+# in-process loadtest exercises the daemon end to end with 8 concurrent
+# clients and server-side sampled audits on. The harness exits non-zero
+# on any request error or if no audit ran.
+go test -race -count=1 -timeout 120s ./internal/service ./internal/cliutil
+go run ./cmd/sweeploadtest -clients 8 -requests 4 -scale 0.02 -k 8 -m 16 -verify-every 4 -out /dev/null
+
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run '^$' -fuzz '^FuzzFromEdges$' -fuzztime "$FUZZTIME" ./internal/dag
 go test -run '^$' -fuzz '^FuzzBuildEquivalence$' -fuzztime "$FUZZTIME" ./internal/dag
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/mesh
 go test -run '^$' -fuzz '^FuzzDecodeTrace$' -fuzztime "$FUZZTIME" ./internal/sched
 go test -run '^$' -fuzz '^FuzzFaultPlan$' -fuzztime "$FUZZTIME" ./internal/faults
+go test -run '^$' -fuzz '^FuzzScheduleRequest$' -fuzztime "$FUZZTIME" ./internal/service
 
 echo "ci: all green"

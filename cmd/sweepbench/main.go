@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"sweepsched/internal/cliutil"
 	"sweepsched/internal/experiments"
 	"sweepsched/internal/obs"
 )
@@ -43,6 +44,10 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if err := cliutil.ValidateVerifyEvery(*verifyN); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {

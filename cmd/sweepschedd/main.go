@@ -1,0 +1,107 @@
+// Command sweepschedd is the sweep-scheduling daemon: a long-running
+// HTTP service that accepts mesh/quadrature/processor specs and
+// returns schedules, metrics and transport solves, amortizing repeated
+// meshes across requests through a three-tier content-addressed cache
+// (Skeleton, DAG family, finished Schedule).
+//
+// Usage:
+//
+//	sweepschedd -addr :8080
+//	sweepschedd -addr :8080 -max-concurrent 16 -cache-bytes 268435456 \
+//	            -verify -verify-every 16
+//
+// Endpoints:
+//
+//	POST /v1/schedule   {"mesh":{"family":"tetonly","scale":0.05,"seed":1},
+//	                     "directions":24,"procs":64,"seed":7}
+//	POST /v1/transport  {"schedule":{...},"sigma_t":1.0,"sigma_s":0.5,"source":1.0}
+//	GET  /v1/stats      cache, admission and metric accounting
+//	GET  /healthz       liveness (503 once draining)
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: /healthz flips to
+// 503, new work is refused, in-flight requests finish (up to
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sweepsched/internal/cliutil"
+	"sweepsched/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxConc    = flag.Int("max-concurrent", 0, "admission slots for concurrent builds/solves (0 = 2*GOMAXPROCS)")
+		queueWait  = flag.Duration("queue-timeout", 2*time.Second, "max wait for an admission slot before 429 (negative = no queue)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "total LRU byte budget across the cache tiers (negative = caching off)")
+		workers    = flag.Int("workers", 0, "per-direction pipeline goroutines per request (0 = GOMAXPROCS)")
+		doVerify   = flag.Bool("verify", false, "audit produced schedules with internal/verify")
+		verifyN    = flag.Int("verify-every", 1, "with -verify, audit only every Nth run per cached problem (1 = every run)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	if err := cliutil.ValidateVerifyEvery(*verifyN); err != nil {
+		fatal(err)
+	}
+	if err := cliutil.ValidateNonNegative("-workers", *workers); err != nil {
+		fatal(err)
+	}
+	if *maxConc < 0 {
+		fatal(fmt.Errorf("-max-concurrent must be >= 0, got %d", *maxConc))
+	}
+
+	srv := service.New(service.Config{
+		MaxConcurrent: *maxConc,
+		QueueTimeout:  *queueWait,
+		CacheBytes:    *cacheBytes,
+		Workers:       *workers,
+		Verify:        *doVerify,
+		VerifyEvery:   *verifyN,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful drain: on the first signal stop routing (healthz 503,
+	// new work 503) and let in-flight requests finish; a second signal
+	// or the drain timeout forces exit.
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	log.Printf("sweepschedd listening on %s (slots=%d cache=%dB verify=%v every=%d)",
+		*addr, *maxConc, *cacheBytes, *doVerify, *verifyN)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-done:
+		fatal(err) // listener died without a signal
+	case sig := <-sigc:
+		log.Printf("sweepschedd: %v: draining (timeout %v)", sig, *drainWait)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("sweepschedd: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("sweepschedd: drained, exiting")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepschedd:", err)
+	os.Exit(2)
+}

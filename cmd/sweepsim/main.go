@@ -24,6 +24,7 @@ import (
 	"runtime/pprof"
 
 	"sweepsched"
+	"sweepsched/internal/cliutil"
 )
 
 func main() {
@@ -56,6 +57,10 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if err := cliutil.ValidateVerifyEvery(*verifyN); err != nil {
+		fatal(err)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,0 +1,37 @@
+// Package cliutil holds the flag validation shared by the repo's
+// commands (sweepsim, sweepbench, sweepschedd, sweeploadtest). The
+// commands exit non-zero with these messages instead of silently
+// coercing nonsense values — a negative -verify-every used to be
+// absorbed by the ≤1 "audit every run" fallback, which reads as "off"
+// but is actually "always on".
+package cliutil
+
+import "fmt"
+
+// ValidateVerifyEvery rejects negative -verify-every values. 0 and 1
+// both mean "audit every run" (the documented behavior); N > 1 samples
+// every Nth run.
+func ValidateVerifyEvery(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-verify-every must be >= 0 (0 or 1 audits every run, N > 1 samples), got %d", n)
+	}
+	return nil
+}
+
+// ValidatePositive rejects values < 1 for flags that name a count that
+// must exist (clients, requests, concurrency slots).
+func ValidatePositive(flag string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("%s must be >= 1, got %d", flag, n)
+	}
+	return nil
+}
+
+// ValidateNonNegative rejects negative values for flags where zero
+// selects a default.
+func ValidateNonNegative(flag string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("%s must be >= 0, got %d", flag, n)
+	}
+	return nil
+}

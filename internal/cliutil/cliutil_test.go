@@ -1,0 +1,69 @@
+package cliutil
+
+import "testing"
+
+// TestValidateVerifyEvery pins the -verify-every contract: negative
+// values are rejected with a clear message (they used to be silently
+// absorbed by the "≤ 1 audits every run" fallback), 0/1/N pass.
+func TestValidateVerifyEvery(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		wantErr bool
+	}{
+		{"negative_one", -1, true},
+		{"very_negative", -1 << 30, true},
+		{"zero_means_every_run", 0, false},
+		{"one_means_every_run", 1, false},
+		{"sampling", 16, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateVerifyEvery(tc.n)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidateVerifyEvery(%d) = %v, wantErr=%v", tc.n, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidatePositive(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		wantErr bool
+	}{
+		{"zero", 0, true},
+		{"negative", -3, true},
+		{"one", 1, false},
+		{"many", 128, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidatePositive("-clients", tc.n)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidatePositive(%d) = %v, wantErr=%v", tc.n, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateNonNegative(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		wantErr bool
+	}{
+		{"negative", -1, true},
+		{"zero_default", 0, false},
+		{"positive", 7, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateNonNegative("-workers", tc.n)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidateNonNegative(%d) = %v, wantErr=%v", tc.n, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errBusy is returned when a request waited QueueTimeout without
+// getting an admission slot; handlers map it to 429 Too Many Requests.
+var errBusy = errors.New("service: admission queue timeout")
+
+// admission is a bounded semaphore with a queue timeout. It converts
+// sustained overload into fast, cheap 429s at the door instead of
+// letting every connection pile onto the scheduling pipeline: at most
+// `slots` requests are in the build/schedule section at once, and a
+// waiter gives up after `timeout` (or when its request context ends).
+type admission struct {
+	slots   chan struct{}
+	timeout time.Duration
+}
+
+func newAdmission(slots int, timeout time.Duration) *admission {
+	return &admission{slots: make(chan struct{}, slots), timeout: timeout}
+}
+
+// acquire blocks until a slot is free, the timeout elapses (errBusy)
+// or ctx ends (its error). A zero timeout admits only when a slot is
+// immediately free.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.timeout <= 0 {
+		return errBusy
+	}
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return errBusy
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot acquired by acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the number of currently held slots.
+func (a *admission) inFlight() int { return len(a.slots) }

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScheduleRequest drives arbitrary bytes through the JSON spec
+// decoder and validator. The contract under fuzz: never panic, and
+// every rejection must classify as a client error (4xx) via StatusOf —
+// a decoder that returns 5xx-classified errors for malformed input
+// would page the operator for the client's typo.
+func FuzzScheduleRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"mesh":{"family":"tetonly","scale":0.02,"seed":1},"directions":8,"procs":16}`,
+		`{"mesh":{"synthetic":"random_chains","n":50,"seed":1},"directions":4,"procs":8}`,
+		`{"mesh":{"encoded":"sweepmesh v1\n"},"directions":8,"procs":16}`,
+		`{"mesh":{"family":"tetonly","scale":1e308},"directions":-1,"procs":0}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16,"scheduler":"random_delays","comm_delay":1}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16} {"second":"doc"}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16,"bogus":true}`,
+		`{"mesh":{"family":"tetonly","scale":"NaN"},"directions":8,"procs":16}`,
+		strings.Repeat(`[`, 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeScheduleRequest(strings.NewReader(body))
+		if err != nil {
+			if st := StatusOf(err); st < 400 || st >= 500 {
+				t.Fatalf("decode error classified %d (want 4xx): %v\ninput: %q", st, err, body)
+			}
+			return
+		}
+		// A decoded request must have passed validation: spot-check the
+		// invariants the server relies on downstream.
+		if req.Directions <= 0 || req.Procs <= 0 {
+			t.Fatalf("validator admitted k=%d m=%d\ninput: %q", req.Directions, req.Procs, body)
+		}
+		if req.Scheduler == "" {
+			t.Fatalf("validator left scheduler empty\ninput: %q", body)
+		}
+		if _, err := req.Mesh.meshKey(); err != nil {
+			if st := StatusOf(err); st < 400 || st >= 500 {
+				t.Fatalf("meshKey error classified %d (want 4xx): %v\ninput: %q", st, err, body)
+			}
+		}
+	})
+}
+
+// FuzzTransportRequest covers the outer transport envelope the same
+// way (it embeds and re-validates the schedule spec).
+func FuzzTransportRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"schedule":{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16},"sigma_t":1,"sigma_s":0.5,"source":1}`,
+		`{"schedule":{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16},"sigma_t":1,"sigma_s":2,"source":1}`,
+		`{"schedule":null,"sigma_t":1e999}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		_, err := DecodeTransportRequest(strings.NewReader(body))
+		if err != nil {
+			if st := StatusOf(err); st < 400 || st >= 500 {
+				t.Fatalf("decode error classified %d (want 4xx): %v\ninput: %q", st, err, body)
+			}
+		}
+	})
+}

@@ -1,0 +1,348 @@
+// Package service is the scheduling-as-a-service layer: a stdlib
+// net/http daemon (cmd/sweepschedd) that accepts mesh/quadrature/
+// processor specs as JSON, runs the sweep-scheduling pipeline, and
+// returns schedules, metrics and transport solves.
+//
+// Behind the handlers sits a content-addressed cache at three tiers —
+// mesh Skeleton, induced DAG family (as a ready-to-schedule Problem),
+// and finished Schedule — keyed by mesh content × direction set × m ×
+// scheduling options, with an LRU byte budget, singleflight coalescing
+// of concurrent identical builds, and a bounded admission semaphore
+// that converts overload into fast 429s instead of collapse. See
+// DESIGN.md §12.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strings"
+
+	"sweepsched"
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/mesh"
+)
+
+// Size ceilings enforced at validation time. They bound what a single
+// request may ask the daemon to build, so a malformed or hostile spec
+// is a 400, not an allocation storm. They are generous relative to the
+// paper's instances (prismtet at scale 1.0 is ~141k cells).
+const (
+	MaxScale      = 4.0      // mesh scale relative to paper size
+	MaxDirections = 512      // k
+	MaxProcs      = 1 << 20  // m
+	MaxSynthCells = 1 << 20  // n for non-geometric families
+	MaxTasks      = 64 << 20 // n·k after the mesh is realized
+	MaxCommDelay  = 1 << 20  // uniform comm delay c
+	MaxBlockSize  = 1 << 20  // §5.1 block size
+	MaxBody       = 32 << 20 // request body bytes (inline meshes)
+)
+
+// RequestError marks a client-side error: anything wrapped in it is
+// 4xx-classifiable (the fuzz target FuzzScheduleRequest holds the spec
+// decoder to exactly this contract). Status is the HTTP status to
+// return; 0 means 400.
+type RequestError struct {
+	Status int
+	Msg    string
+}
+
+func (e *RequestError) Error() string { return e.Msg }
+
+// badRequest wraps a formatted message as a 400-classifiable error.
+func badRequest(format string, args ...any) error {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// StatusOf classifies an error for HTTP: RequestErrors map to their
+// status (default 400), everything else to 500.
+func StatusOf(err error) int {
+	var re *RequestError
+	if errors.As(err, &re) {
+		if re.Status != 0 {
+			return re.Status
+		}
+		return 400
+	}
+	return 500
+}
+
+// MeshSpec names the mesh (or non-geometric DAG family) a request is
+// over. Exactly one of Family, Encoded and Synthetic must be set.
+type MeshSpec struct {
+	// Family is a built-in synthetic mesh family (tetonly, well_logging,
+	// long, prismtet), generated at Scale × the paper's cell count with
+	// the given Seed.
+	Family string  `json:"family,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+
+	// Encoded is an inline mesh in the plain-text sweepmesh format
+	// (cmd/meshgen, sweepsched.EncodeMesh). Cached by content hash.
+	Encoded string `json:"encoded,omitempty"`
+
+	// Synthetic is a non-geometric DAG family (random_chains,
+	// layered_random, heuristic_trap) over N cells with the given Seed.
+	// The skeleton tier does not apply (there is no mesh); such
+	// problems are cached whole at the DAG-family tier.
+	Synthetic string `json:"synthetic,omitempty"`
+	N         int    `json:"n,omitempty"`
+}
+
+// ScheduleRequest is the body of POST /v1/schedule.
+type ScheduleRequest struct {
+	Mesh MeshSpec `json:"mesh"`
+
+	// Directions is k, the size of the S_N-style octant direction set.
+	Directions int `json:"directions"`
+	// Procs is m, the processor count.
+	Procs int `json:"procs"`
+
+	// Scheduler is one of sweepsched.Schedulers(); default
+	// random_delays_priority (the paper's Algorithm 2).
+	Scheduler string `json:"scheduler,omitempty"`
+	// BlockSize ≤ 1 assigns cells to processors independently at
+	// random; larger values use §5.1 block partitioning.
+	BlockSize int `json:"block_size,omitempty"`
+	// Seed drives delays and assignment; identical requests (same seed)
+	// return identical schedules, which is what makes them cacheable.
+	Seed uint64 `json:"seed,omitempty"`
+	// CommDelay > 0 schedules under the §3 uniform communication-delay
+	// model (rejected for random_delays, which is layer-synchronous).
+	CommDelay int `json:"comm_delay,omitempty"`
+
+	// Workers bounds the per-direction pipeline parallelism of this
+	// request (0 = server default). Output is bit-identical for every
+	// value, so Workers is deliberately NOT part of any cache key.
+	Workers int `json:"workers,omitempty"`
+
+	// IncludeSchedule adds the full per-task start steps and cell
+	// assignment to the response (they can be large).
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// IncludeStats adds the per-request obs.Snapshot to the response.
+	IncludeStats bool `json:"include_stats,omitempty"`
+}
+
+// TransportRequest is the body of POST /v1/transport: a schedule spec
+// plus the discrete-ordinates physics to solve with it. The schedule
+// is obtained through the same cache as /v1/schedule.
+type TransportRequest struct {
+	Schedule ScheduleRequest `json:"schedule"`
+
+	SigmaT   float64 `json:"sigma_t"`             // total cross-section (> 0)
+	SigmaS   float64 `json:"sigma_s"`             // scattering cross-section (0 ≤ σs < σt)
+	Source   float64 `json:"source"`              // uniform external source
+	Tol      float64 `json:"tol,omitempty"`       // convergence threshold
+	MaxIters int     `json:"max_iters,omitempty"` // iteration cap
+
+	// IncludeFlux adds the converged per-cell scalar flux.
+	IncludeFlux bool `json:"include_flux,omitempty"`
+}
+
+// DecodeScheduleRequest parses and validates a /v1/schedule body.
+// Every error it returns is 4xx-classifiable via StatusOf.
+func DecodeScheduleRequest(r io.Reader) (*ScheduleRequest, error) {
+	var req ScheduleRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeTransportRequest parses and validates a /v1/transport body.
+func DecodeTransportRequest(r io.Reader) (*TransportRequest, error) {
+	var req TransportRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// decodeStrict decodes exactly one JSON document, rejecting unknown
+// fields and trailing garbage, and classifies every failure as 400.
+func decodeStrict(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		// http.MaxBytesReader surfaces oversized bodies through the
+		// decoder; report those as 413, everything else as 400.
+		if strings.Contains(err.Error(), "request body too large") {
+			return &RequestError{Status: 413, Msg: "request body too large"}
+		}
+		return badRequest("invalid JSON request: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON request")
+	}
+	return nil
+}
+
+// Validate checks the mesh spec without realizing the mesh.
+func (ms *MeshSpec) Validate() error {
+	set := 0
+	for _, s := range []string{ms.Family, ms.Encoded, ms.Synthetic} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return badRequest("mesh: exactly one of family, encoded and synthetic must be set")
+	}
+	switch {
+	case ms.Family != "":
+		ok := false
+		for _, f := range mesh.FamilyNames() {
+			if ms.Family == f {
+				ok = true
+			}
+		}
+		if !ok {
+			return badRequest("mesh: unknown family %q (want one of %v)", ms.Family, mesh.FamilyNames())
+		}
+		if ms.Scale <= 0 || ms.Scale > MaxScale || math.IsNaN(ms.Scale) {
+			return badRequest("mesh: scale must be in (0, %v], got %v", MaxScale, ms.Scale)
+		}
+		if ms.N != 0 {
+			return badRequest("mesh: n applies only to synthetic families")
+		}
+	case ms.Encoded != "":
+		if ms.Scale != 0 || ms.Seed != 0 || ms.N != 0 {
+			return badRequest("mesh: scale/seed/n do not apply to an inline encoded mesh")
+		}
+	case ms.Synthetic != "":
+		switch sweepsched.NonGeometricKind(ms.Synthetic) {
+		case sweepsched.RandomChains, sweepsched.LayeredRandom, sweepsched.HeuristicTrap:
+		default:
+			return badRequest("mesh: unknown synthetic kind %q", ms.Synthetic)
+		}
+		if ms.N <= 0 || ms.N > MaxSynthCells {
+			return badRequest("mesh: synthetic n must be in [1, %d], got %d", MaxSynthCells, ms.N)
+		}
+		if ms.Scale != 0 {
+			return badRequest("mesh: scale does not apply to synthetic families")
+		}
+	}
+	return nil
+}
+
+// Validate checks ranges and cross-field constraints. It never builds
+// anything, so validation cost is independent of the requested sizes.
+func (req *ScheduleRequest) Validate() error {
+	if err := req.Mesh.Validate(); err != nil {
+		return err
+	}
+	if req.Directions <= 0 || req.Directions > MaxDirections {
+		return badRequest("directions must be in [1, %d], got %d", MaxDirections, req.Directions)
+	}
+	if req.Procs <= 0 || req.Procs > MaxProcs {
+		return badRequest("procs must be in [1, %d], got %d", MaxProcs, req.Procs)
+	}
+	if req.Scheduler == "" {
+		req.Scheduler = string(sweepsched.RandomDelaysPriority)
+	}
+	known := false
+	for _, s := range heuristics.AllNames() {
+		if req.Scheduler == string(s) {
+			known = true
+		}
+	}
+	if !known {
+		return badRequest("unknown scheduler %q (want one of %v)", req.Scheduler, heuristics.AllNames())
+	}
+	if req.BlockSize < 0 || req.BlockSize > MaxBlockSize {
+		return badRequest("block_size must be in [0, %d], got %d", MaxBlockSize, req.BlockSize)
+	}
+	if req.BlockSize > 1 && req.Mesh.Synthetic != "" {
+		return badRequest("block partitioning requires a mesh; synthetic families are non-geometric (use block_size <= 1)")
+	}
+	if req.CommDelay < 0 || req.CommDelay > MaxCommDelay {
+		return badRequest("comm_delay must be in [0, %d], got %d", MaxCommDelay, req.CommDelay)
+	}
+	if req.CommDelay > 0 && req.Scheduler == string(sweepsched.RandomDelays) {
+		return badRequest("%s is layer-synchronous and does not support comm delays; use %s",
+			sweepsched.RandomDelays, sweepsched.RandomDelaysPriority)
+	}
+	if req.Workers < 0 {
+		return badRequest("workers must be >= 0, got %d", req.Workers)
+	}
+	if req.Mesh.Synthetic != "" {
+		// Synthetic cell counts are known without building; family/inline
+		// meshes are re-checked against MaxTasks after realization.
+		if tasks := int64(req.Mesh.N) * int64(req.Directions); tasks > MaxTasks {
+			return badRequest("n*k = %d tasks exceeds the %d-task ceiling", tasks, int64(MaxTasks))
+		}
+	}
+	return nil
+}
+
+// Validate checks the physics on top of the embedded schedule spec.
+func (req *TransportRequest) Validate() error {
+	if err := req.Schedule.Validate(); err != nil {
+		return err
+	}
+	if req.SigmaT <= 0 || math.IsNaN(req.SigmaT) || math.IsInf(req.SigmaT, 0) {
+		return badRequest("sigma_t must be positive and finite, got %v", req.SigmaT)
+	}
+	if req.SigmaS < 0 || req.SigmaS >= req.SigmaT || math.IsNaN(req.SigmaS) {
+		return badRequest("need 0 <= sigma_s < sigma_t, got sigma_s=%v sigma_t=%v", req.SigmaS, req.SigmaT)
+	}
+	if req.Source < 0 || math.IsNaN(req.Source) || math.IsInf(req.Source, 0) {
+		return badRequest("source must be non-negative and finite, got %v", req.Source)
+	}
+	if req.Tol < 0 || math.IsNaN(req.Tol) {
+		return badRequest("tol must be >= 0, got %v", req.Tol)
+	}
+	if req.MaxIters < 0 {
+		return badRequest("max_iters must be >= 0, got %d", req.MaxIters)
+	}
+	return nil
+}
+
+// meshKey is the content address of the request's mesh. Family and
+// synthetic meshes are generated by deterministic functions of their
+// spec, so the spec is the content address; inline meshes are hashed
+// over their canonical re-encoding (two textually different encodings
+// of the same mesh share an address).
+func (ms *MeshSpec) meshKey() (string, error) {
+	switch {
+	case ms.Family != "":
+		return fmt.Sprintf("fam:%s/%x/%d", ms.Family, math.Float64bits(ms.Scale), ms.Seed), nil
+	case ms.Synthetic != "":
+		return fmt.Sprintf("syn:%s/%d/%d", ms.Synthetic, ms.N, ms.Seed), nil
+	default:
+		m, err := mesh.Decode(strings.NewReader(ms.Encoded))
+		if err != nil {
+			return "", badRequest("mesh: invalid encoded mesh: %v", err)
+		}
+		h := fnv.New64a()
+		if err := mesh.Encode(h, m); err != nil {
+			return "", fmt.Errorf("service: canonical mesh re-encoding failed: %w", err)
+		}
+		return fmt.Sprintf("enc:%016x", h.Sum64()), nil
+	}
+}
+
+// familyKey addresses the DAG-family tier: mesh content × direction
+// set × m. Synthetic families fold k into DAG generation itself, but
+// Directions appears in the key either way.
+func (req *ScheduleRequest) familyKey(meshKey string) string {
+	return fmt.Sprintf("%s|k:%d|m:%d", meshKey, req.Directions, req.Procs)
+}
+
+// scheduleKey addresses the finished-schedule tier: the family key ×
+// every option that affects scheduling output. Workers is excluded —
+// output is bit-identical for every worker count (DESIGN.md §7) — as
+// are the response-shaping flags.
+func (req *ScheduleRequest) scheduleKey(familyKey string) string {
+	return fmt.Sprintf("%s|alg:%s|block:%d|seed:%d|c:%d",
+		familyKey, req.Scheduler, req.BlockSize, req.Seed, req.CommDelay)
+}
