@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience fuzz bench bench-dag bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
+.PHONY: check ci race resilience procfault fuzz bench bench-dag bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -22,6 +22,15 @@ race:
 # detector, with a hard timeout so a deadlock fails instead of hanging.
 resilience:
 	$(GO) test -race -timeout 120s ./internal/faults ./internal/simulate ./internal/transport
+
+# Multi-process fault injection under the race detector: spawn real
+# worker OS processes over localhost TCP, kill -9 one mid-epoch (and in
+# the wider suite sever sockets), and require the recovered flux to be
+# bitwise-identical to the serial solver with a reproducible merged
+# stats snapshot. A deadlocked barrier or unreaped worker fails on the
+# timeout / orphan scan rather than hanging.
+procfault:
+	$(GO) test -race -count=1 -timeout 300s ./internal/procrun
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFromEdges$$' -fuzztime 10s ./internal/dag

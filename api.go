@@ -41,6 +41,7 @@ import (
 	"sweepsched/internal/obs"
 	"sweepsched/internal/opt"
 	"sweepsched/internal/partition"
+	"sweepsched/internal/procrun"
 	"sweepsched/internal/quadrature"
 	"sweepsched/internal/rng"
 	"sweepsched/internal/sched"
@@ -95,6 +96,10 @@ type Mesh = mesh.Mesh
 type Problem struct {
 	inst *sched.Instance
 
+	// recipe is the deterministic construction spec for family-built
+	// problems (nil otherwise); the multi-process executor requires it.
+	recipe *procrun.ProblemSpec
+
 	// verifySeq numbers the audited-schedule runs on this problem for
 	// ScheduleOptions.VerifyEvery sampling. It is the only mutable state
 	// a Problem carries; it never influences scheduling output, only
@@ -114,7 +119,15 @@ func NewProblemFromFamily(family string, scale float64, k, m int, seed uint64) (
 	if err != nil {
 		return nil, err
 	}
-	return NewProblemFromMesh(msh, k, m)
+	p, err := NewProblemFromMesh(msh, k, m)
+	if err != nil {
+		return nil, err
+	}
+	// Family-built problems remember their construction recipe, so the
+	// multi-process executor can ship it to worker processes instead of
+	// the mesh itself (SolveTransportProcs).
+	p.recipe = &procrun.ProblemSpec{Family: family, Scale: scale, MeshSeed: seed, K: k, M: m}
+	return p, nil
 }
 
 // NewProblemFromMesh builds a problem over a caller-provided mesh with a k

@@ -31,6 +31,14 @@ echo "== resilience: executors under -race with a hard timeout =="
 # deadlocked coordinator or leaked worker turns into a test failure here.
 go test -race -timeout 120s ./internal/faults ./internal/simulate ./internal/transport
 
+echo "== procfault: kill -9 a real worker process, recover bitwise =="
+# True multi-process execution: 4 worker OS processes over localhost
+# TCP, one killed with SIGKILL mid-epoch (plus severed-socket and
+# mixed-fault runs in the suite), recovery rolling back to durable
+# on-disk checkpoints. The recovered flux must match the serial solver
+# bit for bit and the /proc scan must find no orphaned workers.
+go test -race -count=1 -timeout 300s ./internal/procrun
+
 echo "== benchmark smoke (1 iteration each) =="
 # Compile-and-run pass over every benchmark: catches bit-rot in the
 # kernel benchmarks (and their zero-alloc assertions use the same paths)

@@ -32,10 +32,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"sweepsched/internal/cliutil"
@@ -133,7 +135,7 @@ func main() {
 
 	// Warm: one priming request, then every client repeats it.
 	prime := spec(0xbeef, 7)
-	if _, _, err := post(base, client, *reqWait, prime); err != nil {
+	if _, _, _, err := post(base, client, *reqWait, prime); err != nil {
 		fatal(fmt.Errorf("warm priming request: %w", err))
 	}
 	warm := runPhase("warm", base, client, *reqWait, *clients, *requests, func(c, i int) map[string]any {
@@ -207,6 +209,10 @@ type Phase struct {
 	Latency       Quant   `json:"latency_nanos"`
 	CacheHits     int     `json:"cache_hits"`
 	Coalesced     int     `json:"coalesced"`
+	// Retries429 counts retried admission rejections: requests that got a
+	// 429, waited out the server's Retry-After (or the client backoff),
+	// and were resent.
+	Retries429 int `json:"retries_429"`
 	// Windows is the trajectory: completions in order, split into up
 	// to ten equal windows, each with its median latency and hit rate.
 	Windows []Window `json:"windows"`
@@ -233,6 +239,7 @@ type sample struct {
 	latency time.Duration
 	hit     bool
 	coal    bool
+	retries int
 	err     error
 }
 
@@ -247,12 +254,13 @@ func runPhase(name, base string, client *http.Client, reqWait time.Duration, cli
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < requests; i++ {
 				t0 := time.Now()
-				hit, coal, err := post(base, client, reqWait, specFor(c, i))
+				hit, coal, retries, err := post(base, client, reqWait, specFor(c, i))
 				samples[c*requests+i] = sample{
 					done:    time.Since(start),
 					latency: time.Since(t0),
 					hit:     hit,
 					coal:    coal,
+					retries: retries,
 					err:     err,
 				}
 			}
@@ -278,6 +286,7 @@ func runPhase(name, base string, client *http.Client, reqWait time.Duration, cli
 		if s.coal {
 			ph.Coalesced++
 		}
+		ph.Retries429 += s.retries
 	}
 	ph.ThroughputRPS = float64(len(lats)) / wall.Seconds()
 	ph.Latency = quantiles(lats)
@@ -328,39 +337,73 @@ func quantiles(lats []int64) Quant {
 	return Quant{Min: lats[0], Median: at(0.5), P90: at(0.9), P99: at(0.99), Max: lats[len(lats)-1]}
 }
 
-// post sends one /v1/schedule request and reports the cache outcome.
-func post(base string, client *http.Client, reqWait time.Duration, spec map[string]any) (hit, coalesced bool, err error) {
+// Retry policy for 429s: the server's Retry-After estimate is honored
+// when present, raced against a capped exponential backoff with jitter
+// so a fleet of rejected clients never returns in lockstep.
+const (
+	post429Retries = 5
+	post429Base    = 100 * time.Millisecond
+	post429Cap     = 5 * time.Second
+)
+
+// post sends one /v1/schedule request and reports the cache outcome,
+// retrying admission rejections (429) per the policy above.
+func post(base string, client *http.Client, reqWait time.Duration, spec map[string]any) (hit, coalesced bool, retries int, err error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return false, false, err
+		return false, false, 0, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), reqWait)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/schedule", bytes.NewReader(body))
-	if err != nil {
-		return false, false, err
+	backoff := post429Base
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/schedule", bytes.NewReader(body))
+		if err != nil {
+			return false, false, retries, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return false, false, retries, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && retries < post429Retries {
+			wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff)/2+1))
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+				if ra := time.Duration(secs) * time.Second; ra > wait {
+					wait = ra
+				}
+			}
+			if wait > post429Cap {
+				wait = post429Cap
+			}
+			resp.Body.Close()
+			retries++
+			backoff *= 2
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return false, false, retries, ctx.Err()
+			}
+		}
+		var out struct {
+			Makespan int `json:"makespan"`
+			Cache    struct {
+				Schedule  string `json:"schedule"`
+				Coalesced bool   `json:"coalesced"`
+			} `json:"cache"`
+			Error string `json:"error"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if derr != nil {
+			return false, false, retries, fmt.Errorf("status %d: %v", resp.StatusCode, derr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return false, false, retries, fmt.Errorf("status %d: %s", resp.StatusCode, out.Error)
+		}
+		return out.Cache.Schedule == "hit", out.Cache.Coalesced, retries, nil
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return false, false, err
-	}
-	defer resp.Body.Close()
-	var out struct {
-		Makespan int `json:"makespan"`
-		Cache    struct {
-			Schedule  string `json:"schedule"`
-			Coalesced bool   `json:"coalesced"`
-		} `json:"cache"`
-		Error string `json:"error"`
-	}
-	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
-		return false, false, fmt.Errorf("status %d: %v", resp.StatusCode, derr)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return false, false, fmt.Errorf("status %d: %s", resp.StatusCode, out.Error)
-	}
-	return out.Cache.Schedule == "hit", out.Cache.Coalesced, nil
 }
 
 // getStats fetches /v1/stats verbatim for the report.
@@ -406,11 +449,11 @@ func counterOf(raw json.RawMessage, name string) int64 {
 
 func printSummary(r *Report) {
 	for _, ph := range r.Phases {
-		fmt.Printf("%-5s %4d req  %2d err  %7.1f req/s  median %8s  p99 %8s  hits %d/%d  coalesced %d\n",
+		fmt.Printf("%-5s %4d req  %2d err  %7.1f req/s  median %8s  p99 %8s  hits %d/%d  coalesced %d  429-retries %d\n",
 			ph.Name, ph.Requests, ph.Errors, ph.ThroughputRPS,
 			time.Duration(ph.Latency.Median).Round(time.Microsecond),
 			time.Duration(ph.Latency.P99).Round(time.Microsecond),
-			ph.CacheHits, ph.Requests, ph.Coalesced)
+			ph.CacheHits, ph.Requests, ph.Coalesced, ph.Retries429)
 	}
 	if r.WarmOverColdMedianSpeedup > 0 {
 		fmt.Printf("warm-over-cold median speedup: %.1fx\n", r.WarmOverColdMedianSpeedup)

@@ -8,11 +8,18 @@
 // the fault-tolerant transport solve against the serial solver bit for
 // bit.
 //
+// Adding -procs moves that execution onto real worker OS processes over
+// localhost TCP: planned crashes are delivered as actual kill -9 and
+// planned severs (-sever) as closed sockets, with recovery rolling back
+// to durable on-disk checkpoints — and the converged flux must still
+// match the serial solver bit for bit.
+//
 // Usage:
 //
 //	sweepsim -mesh tetonly -k 24 -m 64 -alg random_delays_priority -block 64
 //	sweepsim -mesh long -k 8 -m 16 -alg dfds -simulate
 //	sweepsim -mesh long -k 8 -m 16 -faults -crash 2 -drop 3 -fault-seed 11
+//	sweepsim -mesh tetonly -scale 0.002 -k 8 -m 4 -faults -procs -crash 1 -sever 1
 package main
 
 import (
@@ -28,6 +35,9 @@ import (
 )
 
 func main() {
+	// If the multi-process executor re-exec'd us as a worker, become one
+	// before touching flags (the worker env var carries everything).
+	sweepsched.MaybeProcWorker()
 	var (
 		meshName   = flag.String("mesh", "tetonly", "mesh family")
 		meshFile   = flag.String("meshfile", "", "load a sweepmesh file instead of generating -mesh")
@@ -52,6 +62,9 @@ func main() {
 		nDrop      = flag.Int("drop", 0, "message drops to inject (with -faults)")
 		nDelay     = flag.Int("delay", 0, "message delays to inject (with -faults)")
 		nDup       = flag.Int("dup", 0, "message duplications to inject (with -faults)")
+		nSever     = flag.Int("sever", 0, "worker coordinator sockets to sever (with -faults -procs)")
+		doProcs    = flag.Bool("procs", false, "with -faults, execute on real worker OS processes: crashes become kill -9, severs become closed sockets")
+		ckptDir    = flag.String("ckptdir", "", "durable checkpoint directory for -procs (default: a temp dir, removed on exit)")
 		timeout    = flag.Duration("timeout", 0, "overall deadline for fault-injected runs (0 = none)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -197,9 +210,52 @@ func main() {
 			Drops:      *nDrop,
 			Delays:     *nDelay,
 			Duplicates: *nDup,
+			Severs:     *nSever,
 		}
 		plan := sweepsched.NewFaultPlan(res, spec, *faultSeed)
 		fmt.Printf("fault plan (seed=%d): %s\n", *faultSeed, plan)
+
+		cfg := sweepsched.TransportConfig{SigmaT: 1, SigmaS: 0.5, Source: 1, Verify: *doVerify, Collector: col}
+		serial, err := p.SolveTransport(res, cfg)
+		if err != nil {
+			fatal(err)
+		}
+
+		if *doProcs {
+			dir := *ckptDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "sweepsim-ckpt-*")
+				if err != nil {
+					fatal(err)
+				}
+				defer os.RemoveAll(tmp)
+				dir = tmp
+			}
+			pres, err := p.SolveTransportProcs(ctx, res, cfg, plan, sweepsched.ProcRunOptions{CkptDir: dir, Collector: col})
+			if err != nil {
+				fatal(fmt.Errorf("multi-process transport failed: %w", err))
+			}
+			fmt.Println(pres.Report)
+			mismatch := 0
+			for v := range serial.Phi {
+				if serial.Phi[v] != pres.Phi[v] {
+					mismatch++
+				}
+			}
+			if mismatch == 0 {
+				fmt.Printf("procrun: flux from %d worker processes bitwise-identical to serial solve (%d cells, %d iterations, %d killed)\n",
+					*m, len(pres.Phi), pres.Iterations, len(pres.Report.DeadProcs))
+			} else {
+				fatal(fmt.Errorf("procrun: recovered flux differs from serial solve in %d of %d cells", mismatch, len(pres.Phi)))
+			}
+			if *doStats {
+				fmt.Println("-- merged worker stats --")
+				if err := pres.Merged.WriteText(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+			return
+		}
 
 		sr, rep, err := p.SimulateFaulty(ctx, res, plan)
 		if err != nil {
@@ -209,11 +265,6 @@ func main() {
 			sr.Steps, sr.TotalMessages, sr.CommRounds, res.Metrics.Makespan, rep.Penalty())
 		fmt.Println(rep)
 
-		cfg := sweepsched.TransportConfig{SigmaT: 1, SigmaS: 0.5, Source: 1, Verify: *doVerify, Collector: col}
-		serial, err := p.SolveTransport(res, cfg)
-		if err != nil {
-			fatal(err)
-		}
 		ft, _, err := p.SolveTransportFaultTolerant(ctx, res, cfg, plan)
 		if err != nil {
 			fatal(fmt.Errorf("fault-tolerant transport failed: %w", err))

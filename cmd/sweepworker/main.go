@@ -1,0 +1,27 @@
+// Command sweepworker is a standalone sweep worker process for the
+// multi-process executor (internal/procrun). It is normally spawned by
+// an orchestrator with ProcRunOptions.WorkerBinary pointing here and the
+// SWEEPSCHED_PROCRUN_WORKER environment variable carrying its
+// rendezvous address and rank; running it by hand prints usage.
+//
+// Most binaries never need this: the orchestrator defaults to re-exec'ing
+// its own executable (any binary that calls sweepsched.MaybeProcWorker
+// early in main can host workers). A dedicated worker binary is useful
+// when the driving process is something you do not want forked per rank —
+// a test harness, a daemon, a notebook kernel.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sweepsched/internal/procrun"
+)
+
+func main() {
+	procrun.MaybeWorker() // never returns when spawned as a worker
+	fmt.Fprintf(os.Stderr, "sweepworker: %s is not set.\n", procrun.EnvWorker)
+	fmt.Fprintln(os.Stderr, "This binary is spawned by the multi-process sweep orchestrator")
+	fmt.Fprintln(os.Stderr, "(sweepsched.SolveTransportProcs / sweepsim -procs), not run directly.")
+	os.Exit(2)
+}

@@ -17,12 +17,16 @@ import (
 // FaultKind classifies an injected fault event.
 type FaultKind = faults.Kind
 
-// The injectable fault kinds.
+// The injectable fault kinds. FaultSever cuts a worker's coordinator
+// socket (the process stays alive and reconnects with bounded backoff);
+// only the multi-process executor gives it a physical meaning, the
+// in-process engines ignore sever events.
 const (
 	FaultCrash     = faults.Crash
 	FaultDrop      = faults.Drop
 	FaultDelay     = faults.Delay
 	FaultDuplicate = faults.Duplicate
+	FaultSever     = faults.Sever
 )
 
 // FaultSpec sets how many faults of each kind a plan should contain; see

@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sweepsched/internal/sched"
+)
+
+// Checkpoint is one worker process's durable sweep state: every task it
+// has completed in the current source iteration, with the bit-exact
+// angular flux of each. Workers write one of these to disk at every
+// checkpoint barrier (internal/procrun); when the worker is later killed,
+// recovery restores the checkpointed completions from disk and replays
+// only the tail completed after the last durable write — the on-disk file
+// is the authority, exactly as it would be on a real cluster.
+type Checkpoint struct {
+	Rank  int32 // owning processor
+	Iter  int32 // source iteration the completions belong to
+	Epoch int32 // executor epoch at the write barrier
+	Step  int32 // global barrier step the checkpoint covers (exclusive)
+	Tasks []sched.TaskID
+	Psi   []float64 // Psi[i] is the flux of Tasks[i]
+}
+
+// Checkpoint file layout (little-endian):
+//
+//	magic   u32  'S''W''C''K'
+//	version u16  1
+//	rank    i32
+//	iter    i32
+//	epoch   i32
+//	step    i32
+//	count   u32
+//	count × (task i32, psiBits u64)
+//	crc32   u32  (IEEE, over everything before it)
+//
+// The trailing CRC makes torn writes detectable: any truncation or
+// corruption fails decoding, so a partial checkpoint is never loaded.
+const (
+	ckptMagic   uint32 = 0x4b435753 // "SWCK" little-endian
+	ckptVersion uint16 = 1
+	ckptHeader         = 4 + 2 + 4 + 4 + 4 + 4 + 4
+	ckptPair           = 4 + 8
+)
+
+// Encode serializes the checkpoint with its trailing CRC.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	if len(c.Tasks) != len(c.Psi) {
+		return nil, fmt.Errorf("faults: checkpoint has %d tasks but %d fluxes", len(c.Tasks), len(c.Psi))
+	}
+	buf := make([]byte, 0, ckptHeader+ckptPair*len(c.Tasks)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, ckptMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Rank))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Iter))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Epoch))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Step))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Tasks)))
+	for i, t := range c.Tasks {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Psi[i]))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// DecodeCheckpoint parses and validates an encoded checkpoint. Any
+// truncation, trailing garbage or bit corruption yields an error — a
+// caller can therefore trust every returned checkpoint completely.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < ckptHeader+4 {
+		return nil, fmt.Errorf("faults: checkpoint truncated: %d bytes", len(b))
+	}
+	if got := binary.LittleEndian.Uint32(b[len(b)-4:]); got != crc32.ChecksumIEEE(b[:len(b)-4]) {
+		return nil, fmt.Errorf("faults: checkpoint CRC mismatch")
+	}
+	if magic := binary.LittleEndian.Uint32(b[0:]); magic != ckptMagic {
+		return nil, fmt.Errorf("faults: checkpoint magic %#x, want %#x", magic, ckptMagic)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != ckptVersion {
+		return nil, fmt.Errorf("faults: checkpoint version %d, want %d", v, ckptVersion)
+	}
+	c := &Checkpoint{
+		Rank:  int32(binary.LittleEndian.Uint32(b[6:])),
+		Iter:  int32(binary.LittleEndian.Uint32(b[10:])),
+		Epoch: int32(binary.LittleEndian.Uint32(b[14:])),
+		Step:  int32(binary.LittleEndian.Uint32(b[18:])),
+	}
+	count := int(binary.LittleEndian.Uint32(b[22:]))
+	if want := ckptHeader + ckptPair*count + 4; len(b) != want {
+		return nil, fmt.Errorf("faults: checkpoint declares %d entries (%d bytes) but holds %d bytes", count, want, len(b))
+	}
+	c.Tasks = make([]sched.TaskID, count)
+	c.Psi = make([]float64, count)
+	off := ckptHeader
+	for i := 0; i < count; i++ {
+		c.Tasks[i] = sched.TaskID(binary.LittleEndian.Uint32(b[off:]))
+		c.Psi[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+		off += ckptPair
+	}
+	return c, nil
+}
+
+// ckptName is the published (durable) file name for a checkpoint. The
+// zero-padded (iter, epoch, step) triple sorts lexicographically in write
+// order, so the newest generation is the lexicographically largest file.
+func ckptName(rank, iter, epoch, step int32) string {
+	return fmt.Sprintf("ckpt-r%04d-i%06d-e%06d-s%08d.bin", rank, iter, epoch, step)
+}
+
+// ckptPrefix matches every published checkpoint of the rank.
+func ckptPrefix(rank int32) string { return fmt.Sprintf("ckpt-r%04d-", rank) }
+
+// WriteDurable publishes the checkpoint atomically: the bytes are written
+// to a temporary file in the same directory, synced to stable storage,
+// and renamed into place. A process killed (even with SIGKILL) at any
+// point mid-write leaves either the previous durable generation or a
+// stray .tmp file that loaders ignore — never a torn published
+// checkpoint. Older generations beyond the last two are pruned.
+func WriteDurable(dir string, c *Checkpoint) (string, error) {
+	buf, err := c.Encode()
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, ckptName(c.Rank, c.Iter, c.Epoch, c.Step))
+	tmp, err := os.CreateTemp(dir, ckptPrefix(c.Rank)+"*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	pruneCheckpoints(dir, c.Rank, 2)
+	return final, nil
+}
+
+// LoadLatest returns the newest valid durable checkpoint of the rank, or
+// (nil, nil) when the rank has none. Torn or corrupt generations —
+// possible only through external interference, since publication is
+// atomic — are skipped in favor of the next older valid one, so recovery
+// rolls back further instead of trusting a partial file. Temporary
+// (.tmp) files from interrupted writes are never considered.
+func LoadLatest(dir string, rank int32) (*Checkpoint, error) {
+	names, err := publishedCheckpoints(dir, rank)
+	if err != nil {
+		return nil, err
+	}
+	// Newest first.
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var lastErr error
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := DecodeCheckpoint(b)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if c.Rank != rank {
+			lastErr = fmt.Errorf("faults: checkpoint %s is for rank %d", name, c.Rank)
+			continue
+		}
+		return c, nil
+	}
+	if len(names) > 0 && lastErr != nil {
+		return nil, fmt.Errorf("faults: no valid checkpoint for rank %d (last error: %w)", rank, lastErr)
+	}
+	return nil, nil
+}
+
+// publishedCheckpoints lists the rank's durable checkpoint files
+// (unsorted base names), ignoring temporaries.
+func publishedCheckpoints(dir string, rank int32) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	prefix := ckptPrefix(rank)
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && len(name) > len(prefix) &&
+			name[:len(prefix)] == prefix && filepath.Ext(name) == ".bin" {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}
+
+// pruneCheckpoints removes all but the newest keep generations of the
+// rank. Pruning is best-effort: a failure leaves extra files, never
+// fewer.
+func pruneCheckpoints(dir string, rank int32, keep int) {
+	names, err := publishedCheckpoints(dir, rank)
+	if err != nil || len(names) <= keep {
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names[:len(names)-keep] {
+		os.Remove(filepath.Join(dir, name))
+	}
+}

@@ -1,0 +1,240 @@
+package faults
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sweepsched/internal/sched"
+)
+
+func testCheckpoint(rank, iter, epoch, step int32, n int) *Checkpoint {
+	c := &Checkpoint{Rank: rank, Iter: iter, Epoch: epoch, Step: step}
+	for i := 0; i < n; i++ {
+		c.Tasks = append(c.Tasks, sched.TaskID(int32(i)*7+rank))
+		c.Psi = append(c.Psi, float64(i)*0.125+float64(rank))
+	}
+	return c
+}
+
+func sameCheckpoint(a, b *Checkpoint) bool {
+	if a.Rank != b.Rank || a.Iter != b.Iter || a.Epoch != b.Epoch || a.Step != b.Step ||
+		len(a.Tasks) != len(b.Tasks) || len(a.Psi) != len(b.Psi) {
+		return false
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] || a.Psi[i] != b.Psi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 257} {
+		c := testCheckpoint(3, 2, 4, 17, n)
+		buf, err := c.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeCheckpoint(buf)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if !sameCheckpoint(c, got) {
+			t.Fatalf("n=%d: round trip changed checkpoint: %+v vs %+v", n, c, got)
+		}
+	}
+}
+
+// TestCheckpointDecodeRejectsCorruption: every single-byte flip anywhere
+// in the encoding must fail the CRC — a loaded checkpoint is either
+// bit-exact or rejected.
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	buf, err := testCheckpoint(1, 1, 2, 9, 8).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		bad := bytes.Clone(buf)
+		bad[i] ^= 0x40
+		if _, err := DecodeCheckpoint(bad); err == nil {
+			t.Fatalf("flip at byte %d decoded successfully", i)
+		}
+	}
+	if _, err := DecodeCheckpoint(append(bytes.Clone(buf), 0)); err == nil {
+		t.Fatal("trailing garbage decoded successfully")
+	}
+}
+
+// TestTornCheckpointFallsBack is the torn-write recovery guarantee: a
+// worker killed mid-checkpoint-write must leave the previous durable
+// generation loadable, and a torn newest file — at any truncation point:
+// empty, mid-header, mid-pairs, mid-CRC — must never be returned as
+// valid. Table-driven over truncation offsets.
+func TestTornCheckpointFallsBack(t *testing.T) {
+	gen1 := testCheckpoint(2, 1, 3, 8, 6)
+	gen2 := testCheckpoint(2, 1, 4, 16, 11)
+	full, err := gen2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		keep int // bytes of gen2 left on disk
+	}{
+		{"empty-file", 0},
+		{"mid-magic", 2},
+		{"header-only", ckptHeader},
+		{"mid-first-pair", ckptHeader + 5},
+		{"half-the-pairs", ckptHeader + 5*ckptPair},
+		{"all-pairs-no-crc", len(full) - 4},
+		{"mid-crc", len(full) - 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := WriteDurable(dir, gen1); err != nil {
+				t.Fatal(err)
+			}
+			name2, err := WriteDurable(dir, gen2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tear the newest generation as a kill mid-write would if
+			// publication were not atomic.
+			if err := os.WriteFile(name2, full[:tc.keep], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadLatest(dir, 2)
+			if err != nil {
+				t.Fatalf("LoadLatest: %v", err)
+			}
+			if got == nil {
+				t.Fatal("LoadLatest found nothing; want fallback to gen1")
+			}
+			if got.Step == gen2.Step || len(got.Tasks) == len(gen2.Tasks) {
+				t.Fatalf("LoadLatest returned (partial?) gen2 data: %+v", got)
+			}
+			if !sameCheckpoint(got, gen1) {
+				t.Fatalf("fallback is not bit-exact gen1: %+v vs %+v", got, gen1)
+			}
+		})
+	}
+}
+
+// TestTornOnlyCheckpoint: when the only generation is torn, recovery
+// reports no checkpoint at all (full rollback) rather than partial data.
+func TestTornOnlyCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ck := testCheckpoint(0, 1, 1, 4, 5)
+	name, err := WriteDurable(dir, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := ck.Encode()
+	if err := os.WriteFile(name, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLatest(dir, 0)
+	if got != nil {
+		t.Fatalf("LoadLatest returned %+v from a torn-only dir", got)
+	}
+	if err == nil {
+		t.Fatal("want an error distinguishing torn-only from never-checkpointed")
+	}
+}
+
+// TestAbandonedTempIgnored: a .tmp file left by a kill between write and
+// rename must be invisible to loaders, even when it holds a complete,
+// valid encoding newer than every published generation.
+func TestAbandonedTempIgnored(t *testing.T) {
+	dir := t.TempDir()
+	gen1 := testCheckpoint(1, 1, 2, 8, 4)
+	if _, err := WriteDurable(dir, gen1); err != nil {
+		t.Fatal(err)
+	}
+	newer, _ := testCheckpoint(1, 1, 3, 16, 9).Encode()
+	if err := os.WriteFile(filepath.Join(dir, ckptPrefix(1)+"12345.tmp"), newer, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLatest(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !sameCheckpoint(got, gen1) {
+		t.Fatalf("LoadLatest = %+v, want published gen1 (temp ignored)", got)
+	}
+}
+
+func TestLoadLatestPicksNewestAndIsolatesRanks(t *testing.T) {
+	dir := t.TempDir()
+	r0a := testCheckpoint(0, 1, 1, 4, 3)
+	r0b := testCheckpoint(0, 1, 2, 12, 7)
+	r1 := testCheckpoint(1, 1, 2, 12, 5)
+	for _, c := range []*Checkpoint{r0b, r0a, r1} { // write out of order
+		if _, err := WriteDurable(dir, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got0, err := LoadLatest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCheckpoint(got0, r0b) {
+		t.Fatalf("rank 0 latest = %+v, want step-12 generation", got0)
+	}
+	got1, err := LoadLatest(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCheckpoint(got1, r1) {
+		t.Fatalf("rank 1 latest = %+v, want its own checkpoint", got1)
+	}
+	got2, err := LoadLatest(dir, 2)
+	if err != nil || got2 != nil {
+		t.Fatalf("rank 2 = (%+v, %v), want (nil, nil)", got2, err)
+	}
+}
+
+func TestWriteDurablePrunes(t *testing.T) {
+	dir := t.TempDir()
+	for g := int32(0); g < 5; g++ {
+		if _, err := WriteDurable(dir, testCheckpoint(0, 1, g, g*8, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := publishedCheckpoints(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("after 5 writes %d generations remain (%v), want 2", len(names), names)
+	}
+	got, err := LoadLatest(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 4 {
+		t.Fatalf("latest after prune is epoch %d, want 4", got.Epoch)
+	}
+}
+
+func TestLoadLatestMissingDir(t *testing.T) {
+	got, err := LoadLatest(filepath.Join(t.TempDir(), "never-created"), 0)
+	if err != nil || got != nil {
+		t.Fatalf("missing dir = (%+v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestCheckpointNamesSortInWriteOrder(t *testing.T) {
+	prev := ""
+	for _, g := range [][3]int32{{1, 1, 4}, {1, 2, 8}, {1, 2, 32}, {2, 1, 1}, {10, 3, 100}} {
+		name := ckptName(0, g[0], g[1], g[2])
+		if name <= prev {
+			t.Fatalf("name %q does not sort after %q", name, prev)
+		}
+		prev = name
+	}
+}

@@ -3,7 +3,6 @@ package faults
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"sweepsched/internal/lb"
@@ -65,19 +64,17 @@ func (r *RecoveryReport) String() string {
 // schedule until it finishes, a planned crash fires, or a worker stalls on
 // a flux the injector withheld. Ending an epoch durably checkpoints every
 // completed task except those the crashed processor finished since the
-// last periodic checkpoint (those are lost and replayed); recovery then
-// reassigns the dead processor's cells onto the least-loaded survivors and
-// list-schedules the not-yet-done tasks (sched.ListScheduleResidual).
+// last periodic checkpoint (those are lost and replayed); recovery is
+// delegated to the shared Recovery core — orphan-cell reassignment onto
+// the least-loaded survivors and residual list scheduling
+// (sched.ListScheduleResidual) — the same core internal/procrun drives
+// for real kill -9'd worker processes.
 type Engine struct {
-	inst   *sched.Instance
-	orig   *sched.Schedule
-	cur    *sched.Schedule
-	inj    *Injector
-	prio   sched.Priorities
-	assign sched.Assignment
-	live   []bool
-	nLive  int
-	dead   []int32
+	inst *sched.Instance
+	orig *sched.Schedule
+	cur  *sched.Schedule
+	inj  *Injector
+	rec  *Recovery
 
 	sinceCkpt   [][]sched.TaskID // per proc: completions since the last durable checkpoint
 	lastCkpt    int32
@@ -86,19 +83,8 @@ type Engine struct {
 	needRebuild bool
 	report      RecoveryReport
 
-	// ws and the two destination schedules make repeated residual
-	// rescheduling allocation-free: full backs e.cur across sweeps after a
-	// post-crash rebuild, resid is the scratch for mid-sweep recoveries
-	// (transient: the epoch loop drops any reference to it before the next
-	// recovery overwrites it).
-	ws    *sched.Workspace
-	full  sched.Schedule
-	resid sched.Schedule
-
-	// col receives execution counters (nil = off); audit runs the
-	// internal/verify residual auditor over every recovery reschedule.
-	col   *obs.Collector
-	audit bool
+	// col receives execution counters (nil = off).
+	col *obs.Collector
 }
 
 // Observe attaches a stats collector: the engine reports epochs,
@@ -107,13 +93,13 @@ type Engine struct {
 // collector detaches.
 func (e *Engine) Observe(col *obs.Collector) {
 	e.col = col
-	e.ws.SetObserver(col)
+	e.rec.Observe(col)
 }
 
 // SetVerify toggles auditing of every recovery reschedule with
 // verify.Residual (a failed audit aborts the sweep with its diagnostic).
 // Defaults to off unless SWEEPSCHED_VERIFY forces it.
-func (e *Engine) SetVerify(on bool) { e.audit = on }
+func (e *Engine) SetVerify(on bool) { e.rec.SetVerify(on) }
 
 // Audit cross-checks the engine's accumulated accounting for internal
 // consistency (verify.Recovery). Call it after the run completes.
@@ -133,42 +119,22 @@ func (e *Engine) Audit() error {
 // be nil (no faults). The schedule must be feasible; infeasibility is
 // detected during execution and reported as an error.
 func NewEngine(s *sched.Schedule, plan *Plan) (*Engine, error) {
-	inst := s.Inst
-	if err := s.Assign.Validate(inst.N(), inst.M); err != nil {
+	rec, err := NewRecovery(s)
+	if err != nil {
 		return nil, err
 	}
-	if len(s.Start) != inst.NTasks() {
-		return nil, fmt.Errorf("faults: schedule covers %d of %d tasks", len(s.Start), inst.NTasks())
-	}
 	e := &Engine{
-		inst:      inst,
+		inst:      s.Inst,
 		orig:      s,
 		cur:       s,
 		inj:       NewInjector(plan),
-		assign:    append(sched.Assignment(nil), s.Assign...),
-		live:      make([]bool, inst.M),
-		nLive:     inst.M,
-		sinceCkpt: make([][]sched.TaskID, inst.M),
+		rec:       rec,
+		sinceCkpt: make([][]sched.TaskID, s.Inst.M),
 		ckptEvery: Spec{}.withDefaults().CheckpointEvery,
-		ws:        sched.NewWorkspace(),
-		audit:     verify.ForcedByEnv(),
-	}
-	for p := range e.live {
-		e.live[p] = true
 	}
 	if plan != nil {
 		e.report.Seed = plan.Seed
 		e.ckptEvery = plan.Spec.withDefaults().CheckpointEvery
-	}
-	// Residual rescheduling uses level priorities: cheap, deterministic,
-	// and a good list-scheduling order on sweep DAGs.
-	n := int32(inst.N())
-	e.prio = make(sched.Priorities, inst.NTasks())
-	for i, d := range inst.DAGs {
-		base := int32(i) * n
-		for v := int32(0); v < n; v++ {
-			e.prio[base+v] = int64(d.Level[v])
-		}
 	}
 	return e, nil
 }
@@ -180,8 +146,7 @@ func (e *Engine) Report() *RecoveryReport {
 	r.Drops = e.inj.Applied(Drop)
 	r.Delays = e.inj.Applied(Delay)
 	r.Duplicates = e.inj.Applied(Duplicate)
-	r.DeadProcs = append([]int32(nil), e.dead...)
-	sort.Slice(r.DeadProcs, func(a, b int) bool { return r.DeadProcs[a] < r.DeadProcs[b] })
+	r.DeadProcs = e.rec.Dead()
 	return &r
 }
 
@@ -199,15 +164,11 @@ func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) erro
 		return err
 	}
 	if e.needRebuild {
-		if err := sched.ListScheduleResidualInto(e.ws, &e.full, e.inst, e.assign, e.prio, nil); err != nil {
+		full, err := e.rec.RebuildFull()
+		if err != nil {
 			return err
 		}
-		if e.audit {
-			if err := verify.Residual(e.inst, &e.full, nil); err != nil {
-				return fmt.Errorf("faults: post-crash rebuild failed the audit: %w", err)
-			}
-		}
-		e.cur = &e.full
+		e.cur = full
 		e.needRebuild = false
 	}
 	e.report.StepsFaultFree += e.orig.Makespan
@@ -216,7 +177,7 @@ func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) erro
 	remaining := nt
 	cur := e.cur
 	for remaining > 0 {
-		if e.nLive == 0 {
+		if e.rec.NLive() == 0 {
 			return &UnrecoverableError{DeadProcs: e.Report().DeadProcs, Remaining: remaining}
 		}
 		var reason epochEnd
@@ -232,23 +193,17 @@ func (e *Engine) Sweep(ctx context.Context, compute Compute, psi []float64) erro
 		case endCompleted:
 			return fmt.Errorf("faults: internal: epoch completed with %d tasks remaining", remaining)
 		case endCrash, endStall:
-			if e.nLive == 0 {
+			if e.rec.NLive() == 0 {
 				return &UnrecoverableError{DeadProcs: e.Report().DeadProcs, Remaining: remaining}
 			}
 			e.report.Recoveries++
 			e.col.Counter("faults.recoveries").Inc()
-			e.report.LastResidualBound = lb.ResidualLoad(remaining, e.nLive)
-			if err := sched.ListScheduleResidualInto(e.ws, &e.resid, e.inst, e.assign, e.prio, done); err != nil {
+			e.report.LastResidualBound = lb.ResidualLoad(remaining, e.rec.NLive())
+			resid, err := e.rec.Reschedule(done)
+			if err != nil {
 				return err
 			}
-			if e.audit {
-				// done is exact at this barrier: the residual schedule must
-				// cover precisely the survivors.
-				if err := verify.Residual(e.inst, &e.resid, done); err != nil {
-					return fmt.Errorf("faults: recovery reschedule failed the audit: %w", err)
-				}
-			}
-			cur = &e.resid
+			cur = resid
 		}
 	}
 	return nil
@@ -283,36 +238,20 @@ func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
 
 	e.report.Epochs++
 	e.col.Counter("faults.epochs").Inc()
-	e.col.Gauge("faults.live_procs").Set(int64(e.nLive))
+	e.col.Gauge("faults.live_procs").Set(int64(e.rec.NLive()))
 	inst := e.inst
 	m := inst.M
-	nt := inst.NTasks()
-	assign := e.assign
+	assign := e.rec.Assign()
 
 	// Group the epoch's tasks per (processor, local step) and size inboxes:
-	// exact cross-message counts plus slack for duplicated and re-delivered
-	// (delayed) messages, so channel sends never block.
-	byStep := make([]map[int32][]sched.TaskID, m)
-	for p := range byStep {
-		byStep[p] = map[int32][]sched.TaskID{}
+	// exact cross-message counts (shared barrier-executor helpers) plus
+	// slack for duplicated and re-delivered (delayed) messages, so channel
+	// sends never block.
+	byStep, err := sched.GroupSteps(cur, assign, done)
+	if err != nil {
+		return remaining, endCompleted, fmt.Errorf("faults: internal: %w", err)
 	}
-	crossIn := make([]int, m)
-	for t := 0; t < nt; t++ {
-		if done[t] {
-			continue
-		}
-		if cur.Start[t] < 0 {
-			return remaining, endCompleted, fmt.Errorf("faults: internal: task %d unscheduled in epoch", t)
-		}
-		v, i := inst.Split(sched.TaskID(t))
-		p := assign[v]
-		byStep[p][cur.Start[t]] = append(byStep[p][cur.Start[t]], sched.TaskID(t))
-		for _, w := range inst.DAGs[i].Out(v) {
-			if q := assign[w]; q != p {
-				crossIn[q]++
-			}
-		}
-	}
+	crossIn := sched.CrossIncoming(inst, assign, done)
 	slack := 2
 	if e.inj.plan != nil {
 		slack += 2 * len(e.inj.plan.Events)
@@ -328,7 +267,7 @@ func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
 	reports := make(chan workerAck, m)
 	var wg sync.WaitGroup
 	for p := int32(0); p < int32(m); p++ {
-		if !e.live[p] {
+		if !e.rec.Live(p) {
 			continue
 		}
 		stepCh[p] = make(chan stepMsg)
@@ -373,7 +312,7 @@ func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
 		// Held (delayed) messages that matured are delivered before the
 		// barrier opens.
 		for _, dl := range e.inj.Matured(g) {
-			if e.live[dl.To] {
+			if e.rec.Live(dl.To) {
 				inbox[dl.To] <- dl
 			}
 		}
@@ -450,7 +389,7 @@ func (e *Engine) worker(p int32, byStep map[int32][]sched.TaskID, doneStart []bo
 	compute Compute, psi []float64) {
 
 	inst := e.inst
-	assign := e.assign
+	assign := e.rec.Assign()
 	n := int32(inst.N())
 	recv := map[sched.TaskID]float64{}
 	localDone := map[sched.TaskID]bool{}
@@ -524,14 +463,12 @@ func (e *Engine) worker(p int32, byStep map[int32][]sched.TaskID, doneStart []bo
 
 // applyCrashes kills the given processors: their completions since the
 // last durable checkpoint are rolled back (replayed later), their cells
-// with outstanding work move to the least-loaded survivors, and the
-// recovery itself acts as a checkpoint for everyone else.
+// with outstanding work move to the least-loaded survivors (via the
+// shared Recovery core), and the recovery itself acts as a checkpoint for
+// everyone else.
 func (e *Engine) applyCrashes(dying []int32, done []bool, remaining int) int {
 	for _, p := range dying {
 		e.inj.NoteCrash()
-		e.live[p] = false
-		e.nLive--
-		e.dead = append(e.dead, p)
 		for _, t := range e.sinceCkpt[p] {
 			if done[t] {
 				done[t] = false
@@ -547,49 +484,9 @@ func (e *Engine) applyCrashes(dying []int32, done []bool, remaining int) int {
 		e.sinceCkpt[p] = e.sinceCkpt[p][:0]
 	}
 	e.lastCkpt = e.globalStep
-	if e.nLive > 0 {
-		e.reassignOrphans(done)
+	e.rec.Kill(dying, done)
+	if e.rec.NLive() > 0 {
 		e.needRebuild = true
 	}
 	return remaining
-}
-
-// reassignOrphans moves every cell of a dead processor onto the live
-// processor with the least remaining load (ties to the smallest id) — a
-// deterministic greedy rebalance. Cells with no outstanding tasks move
-// too: a later sweep of the same engine (transport source iteration)
-// re-executes every cell, and a cell left on a dead processor would
-// silently never run.
-func (e *Engine) reassignOrphans(done []bool) {
-	inst := e.inst
-	n := inst.N()
-	k := inst.K()
-	remainPerCell := make([]int, n)
-	for i := 0; i < k; i++ {
-		base := i * n
-		for v := 0; v < n; v++ {
-			if !done[base+v] {
-				remainPerCell[v]++
-			}
-		}
-	}
-	load := make([]int, inst.M)
-	for v := 0; v < n; v++ {
-		if p := e.assign[v]; e.live[p] {
-			load[p] += remainPerCell[v]
-		}
-	}
-	for v := 0; v < n; v++ {
-		if e.live[e.assign[v]] {
-			continue
-		}
-		best := -1
-		for q := 0; q < inst.M; q++ {
-			if e.live[q] && (best < 0 || load[q] < load[best]) {
-				best = q
-			}
-		}
-		e.assign[v] = int32(best)
-		load[best] += remainPerCell[v]
-	}
 }

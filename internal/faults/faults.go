@@ -1,6 +1,7 @@
 // Package faults executes sweep schedules under injected distributed-system
 // failures — processor crashes, dropped, delayed and duplicated flux
-// messages — and recovers from them by checkpointed rescheduling.
+// messages, severed coordinator connections — and recovers from them by
+// checkpointed rescheduling.
 //
 // A Plan is a deterministic fault scenario derived from a master seed via
 // rng.Source.Substream: the same (schedule, spec, seed) triple always
@@ -40,6 +41,13 @@ const (
 	Delay
 	// Duplicate delivers one cross-processor flux message twice.
 	Duplicate
+	// Sever cuts a processor's connection to the coordinator at a global
+	// barrier step. Unlike Crash the processor stays alive and reconnects
+	// (bounded retry with exponential backoff); no work is lost. Sever is
+	// meaningful only to executors with a real transport layer
+	// (internal/procrun) — the in-process engine has no connections and
+	// ignores these events.
+	Sever
 )
 
 // String names the fault kind.
@@ -53,14 +61,17 @@ func (k Kind) String() string {
 		return "delay"
 	case Duplicate:
 		return "duplicate"
+	case Sever:
+		return "sever"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Event is one injected fault. Crash events use Proc and Step (the global
-// barrier step at which the processor dies, before executing it). Message
-// events identify the affected message by the producing Task and the
-// destination processor To; they fire the first time that message is sent.
+// Event is one injected fault. Crash and Sever events use Proc and Step
+// (the global barrier step at which the processor dies or its connection
+// is cut, before executing it). Message events identify the affected
+// message by the producing Task and the destination processor To; they
+// fire the first time that message is sent.
 type Event struct {
 	Kind      Kind
 	Proc      int32
@@ -72,8 +83,8 @@ type Event struct {
 
 func (e Event) String() string {
 	switch e.Kind {
-	case Crash:
-		return fmt.Sprintf("crash(proc=%d,step=%d)", e.Proc, e.Step)
+	case Crash, Sever:
+		return fmt.Sprintf("%s(proc=%d,step=%d)", e.Kind, e.Proc, e.Step)
 	case Delay:
 		return fmt.Sprintf("delay(task=%d,to=%d,hold=%d)", e.Task, e.To, e.HoldSteps)
 	default:
@@ -91,6 +102,9 @@ type Spec struct {
 	Drops      int
 	Delays     int
 	Duplicates int
+	// Severs is the number of connection cuts (capped at the processor
+	// count). Only process-level executors act on them; see Sever.
+	Severs int
 	// MaxDelay bounds the hold of each delayed message (default 3 steps).
 	MaxDelay int32
 	// CheckpointEvery is the barrier-step interval between durable
@@ -111,7 +125,7 @@ func (sp Spec) withDefaults() Spec {
 
 // Empty reports whether the spec injects no faults at all.
 func (sp Spec) Empty() bool {
-	return sp.Crashes == 0 && sp.Drops == 0 && sp.Delays == 0 && sp.Duplicates == 0
+	return sp.Crashes == 0 && sp.Drops == 0 && sp.Delays == 0 && sp.Duplicates == 0 && sp.Severs == 0
 }
 
 // Plan is a concrete, reproducible fault scenario for one schedule.
@@ -212,6 +226,31 @@ func NewPlan(s *sched.Schedule, spec Spec, seed uint64) *Plan {
 	draw(root.Substream(3), spec.Duplicates, func(ms msg) Event {
 		return Event{Kind: Duplicate, Task: ms.task, To: ms.to}
 	})
+
+	// Severs: distinct processors (may overlap crash victims — a sever
+	// before the crash just makes the proc reconnect first), steps within
+	// the fault-free makespan. Substream 4 keeps every earlier substream's
+	// draws unchanged, so plans without severs are identical to before.
+	sv := root.Substream(4)
+	nSever := spec.Severs
+	if nSever > m {
+		nSever = m
+	}
+	if nSever > 0 {
+		procs := sv.Perm(m)[:nSever]
+		sort.Ints(procs)
+		maxStep := s.Makespan
+		if maxStep < 1 {
+			maxStep = 1
+		}
+		for _, p := range procs {
+			plan.Events = append(plan.Events, Event{
+				Kind: Sever,
+				Proc: int32(p),
+				Step: int32(sv.Intn(maxStep)),
+			})
+		}
+	}
 	return plan
 }
 

@@ -30,6 +30,7 @@ type msgKey struct {
 type Injector struct {
 	mu        sync.Mutex
 	crashStep map[int32]int32
+	severStep map[int32]int32
 	msg       map[msgKey]Event
 	consumed  map[msgKey]Kind // message events already fired
 	delayed   map[int32][]Delivery
@@ -41,6 +42,7 @@ type Injector struct {
 func NewInjector(plan *Plan) *Injector {
 	inj := &Injector{
 		crashStep: map[int32]int32{},
+		severStep: map[int32]int32{},
 		msg:       map[msgKey]Event{},
 		consumed:  map[msgKey]Kind{},
 		delayed:   map[int32][]Delivery{},
@@ -54,6 +56,10 @@ func NewInjector(plan *Plan) *Injector {
 				// Earliest crash wins if a proc appears twice.
 				if st, ok := inj.crashStep[e.Proc]; !ok || e.Step < st {
 					inj.crashStep[e.Proc] = e.Step
+				}
+			case Sever:
+				if st, ok := inj.severStep[e.Proc]; !ok || e.Step < st {
+					inj.severStep[e.Proc] = e.Step
 				}
 			default:
 				inj.msg[msgKey{e.Task, e.To}] = e
@@ -76,6 +82,26 @@ func (inj *Injector) CrashStep(p int32) int32 {
 func (inj *Injector) NoteCrash() {
 	inj.mu.Lock()
 	inj.applied[Crash]++
+	inj.mu.Unlock()
+}
+
+// SeverStep returns the global barrier step at which the processor's
+// coordinator connection is scheduled to be cut, or -1 if never. Each
+// sever fires once: callers should pair it with NoteSever and track
+// firing themselves (the step survives here so diagnostics can still map
+// a reconnect back to its plan event). Executors without a transport
+// layer simply never ask.
+func (inj *Injector) SeverStep(p int32) int32 {
+	if st, ok := inj.severStep[p]; ok {
+		return st
+	}
+	return -1
+}
+
+// NoteSever records that a planned connection cut actually fired.
+func (inj *Injector) NoteSever() {
+	inj.mu.Lock()
+	inj.applied[Sever]++
 	inj.mu.Unlock()
 }
 

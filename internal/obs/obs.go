@@ -236,6 +236,66 @@ func (c *Collector) Snapshot() Snapshot {
 	return s
 }
 
+// Merge combines two snapshots into one, matching metrics by name:
+// counters add, timers add both their counts and totals, and gauges keep
+// the maximum (a gauge in a merged report is a high-water mark across the
+// contributing collectors — per-process levels are not meaningfully
+// additive). Metrics present in only one input carry over unchanged. The
+// result is sorted by name like any Snapshot, so merging the same inputs
+// in any order renders byte-identically.
+//
+// Merge closes the per-process-snapshot gap of multi-process executions:
+// every worker process snapshots its own collector, ships it over the
+// wire at teardown, and the orchestrator folds them into one report
+// (internal/procrun).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	var out Snapshot
+
+	cs := map[string]int64{}
+	for _, c := range s.Counters {
+		cs[c.Name] += c.Value
+	}
+	for _, c := range o.Counters {
+		cs[c.Name] += c.Value
+	}
+	for name, v := range cs {
+		out.Counters = append(out.Counters, CounterValue{name, v})
+	}
+
+	gs := map[string]int64{}
+	for _, g := range s.Gauges {
+		gs[g.Name] = g.Value
+	}
+	for _, g := range o.Gauges {
+		if cur, ok := gs[g.Name]; !ok || g.Value > cur {
+			gs[g.Name] = g.Value
+		}
+	}
+	for name, v := range gs {
+		out.Gauges = append(out.Gauges, GaugeValue{name, v})
+	}
+
+	ts := map[string]TimerValue{}
+	for _, t := range s.Timers {
+		ts[t.Name] = t
+	}
+	for _, t := range o.Timers {
+		cur := ts[t.Name]
+		cur.Name = t.Name
+		cur.Count += t.Count
+		cur.TotalNanos += t.TotalNanos
+		ts[t.Name] = cur
+	}
+	for _, t := range ts {
+		out.Timers = append(out.Timers, t)
+	}
+
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Timers, func(i, j int) bool { return out.Timers[i].Name < out.Timers[j].Name })
+	return out
+}
+
 // WriteText renders the snapshot as one line per metric:
 //
 //	counter <name> <value>

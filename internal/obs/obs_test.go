@@ -31,6 +31,73 @@ func TestCounterGaugeTimer(t *testing.T) {
 	}
 }
 
+// TestSnapshotMerge: counters add, timers add, gauges take the maximum,
+// disjoint metrics carry over, and merge order never changes the rendered
+// bytes.
+func TestSnapshotMerge(t *testing.T) {
+	a := New()
+	a.Counter("proc.tasks").Add(10)
+	a.Counter("proc.only_a").Add(1)
+	a.Gauge("proc.peak").Set(3)
+	a.Timer("proc.step").Observe(2 * time.Millisecond)
+
+	b := New()
+	b.Counter("proc.tasks").Add(5)
+	b.Counter("proc.only_b").Add(2)
+	b.Gauge("proc.peak").Set(7)
+	b.Gauge("proc.only_b_gauge").Set(-4)
+	b.Timer("proc.step").Observe(3 * time.Millisecond)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	want := map[string]int64{"proc.tasks": 15, "proc.only_a": 1, "proc.only_b": 2}
+	if len(m.Counters) != len(want) {
+		t.Fatalf("merged counters = %v, want %d entries", m.Counters, len(want))
+	}
+	for _, c := range m.Counters {
+		if c.Value != want[c.Name] {
+			t.Fatalf("counter %s = %d, want %d", c.Name, c.Value, want[c.Name])
+		}
+	}
+	for _, g := range m.Gauges {
+		switch g.Name {
+		case "proc.peak":
+			if g.Value != 7 {
+				t.Fatalf("merged gauge proc.peak = %d, want max 7", g.Value)
+			}
+		case "proc.only_b_gauge":
+			if g.Value != -4 {
+				t.Fatalf("merged gauge proc.only_b_gauge = %d, want -4", g.Value)
+			}
+		default:
+			t.Fatalf("unexpected merged gauge %s", g.Name)
+		}
+	}
+	if len(m.Timers) != 1 || m.Timers[0].Count != 2 || m.Timers[0].TotalNanos != int64(5*time.Millisecond) {
+		t.Fatalf("merged timers = %v, want proc.step count=2 total=5ms", m.Timers)
+	}
+
+	// Commutativity of the rendering.
+	var ab, ba bytes.Buffer
+	if err := a.Snapshot().Merge(b.Snapshot()).WriteText(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().Merge(a.Snapshot()).WriteText(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if ab.String() != ba.String() {
+		t.Fatalf("merge is order-sensitive:\n%s\nvs\n%s", ab.String(), ba.String())
+	}
+
+	// Merging with an empty snapshot is the identity on values.
+	var id bytes.Buffer
+	if err := m.Merge(Snapshot{}).WriteText(&id); err != nil {
+		t.Fatal(err)
+	}
+	if id.String() != ab.String() {
+		t.Fatalf("merge with empty changed the report:\n%s\nvs\n%s", id.String(), ab.String())
+	}
+}
+
 // TestNilSafety: every operation on a nil Collector and on nil metric
 // handles must be a no-op, so instrumented code never branches on
 // whether observability is on.

@@ -1,0 +1,47 @@
+package procrun
+
+import (
+	"fmt"
+
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/sched"
+)
+
+// ProblemSpec identifies a sweep instance by construction recipe rather
+// than by value: mesh family, scale, generator seed, direction count and
+// processor count. Instance construction is deterministic, so the
+// orchestrator ships the few bytes of the spec over the wire and every
+// worker process rebuilds bit-identical geometry and DAGs locally —
+// the same trick MPI codes use to avoid broadcasting the mesh.
+type ProblemSpec struct {
+	Family   string
+	Scale    float64
+	MeshSeed uint64
+	K        int
+	M        int
+}
+
+// Build constructs the instance the spec describes.
+func (ps ProblemSpec) Build() (*sched.Instance, error) {
+	if ps.K <= 0 || ps.M <= 0 {
+		return nil, fmt.Errorf("procrun: spec needs positive k and m, got k=%d m=%d", ps.K, ps.M)
+	}
+	msh, err := mesh.Family(ps.Family, ps.Scale, ps.MeshSeed)
+	if err != nil {
+		return nil, fmt.Errorf("procrun: spec mesh: %w", err)
+	}
+	dirs, err := quadrature.Octant(ps.K)
+	if err != nil {
+		return nil, fmt.Errorf("procrun: spec quadrature: %w", err)
+	}
+	inst, err := sched.NewInstance(msh, dirs, ps.M)
+	if err != nil {
+		return nil, fmt.Errorf("procrun: spec instance: %w", err)
+	}
+	return inst, nil
+}
+
+func (ps ProblemSpec) String() string {
+	return fmt.Sprintf("%s/scale=%g/seed=%d/k=%d/m=%d", ps.Family, ps.Scale, ps.MeshSeed, ps.K, ps.M)
+}

@@ -1,0 +1,267 @@
+package procrun
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"sweepsched/internal/sched"
+)
+
+// Wire protocol: every frame is
+//
+//	u32  payload length (little-endian, excludes this header)
+//	u8   frame type
+//	...  payload
+//
+// over a localhost TCP connection. Integers are little-endian; float64s
+// travel as their IEEE-754 bit patterns, so fluxes arrive bit-exact —
+// the whole bitwise-identical-to-serial guarantee rides on never
+// formatting a float.
+const (
+	fHello     uint8 = iota + 1 // worker → orch: rank, resumed flag
+	fSetup                      // orch → worker: problem spec + physics + checkpoint config
+	fSetupOK                    // worker → orch: instance shape echo (n, k, m)
+	fSweep                      // orch → worker: iteration number + scalar flux
+	fEpoch                      // orch → worker: epoch schedule + durable state
+	fStep                       // orch → worker: one barrier step + matured deliveries
+	fAck                        // worker → orch: step completions / stall / error
+	fOK                         // worker → orch: generic acknowledgement
+	fHeartbeat                  // worker → orch: liveness (any time)
+	fSnapReq                    // orch → worker: request metrics snapshot
+	fSnapshot                   // worker → orch: JSON obs.Snapshot
+	fBye                        // orch → worker: clean shutdown
+)
+
+// maxFrame bounds a frame payload; anything larger indicates a corrupt
+// or hostile stream.
+const maxFrame = 1 << 28
+
+// frameName labels a type for diagnostics.
+func frameName(t uint8) string {
+	switch t {
+	case fHello:
+		return "hello"
+	case fSetup:
+		return "setup"
+	case fSetupOK:
+		return "setup-ok"
+	case fSweep:
+		return "sweep"
+	case fEpoch:
+		return "epoch"
+	case fStep:
+		return "step"
+	case fAck:
+		return "ack"
+	case fOK:
+		return "ok"
+	case fHeartbeat:
+		return "heartbeat"
+	case fSnapReq:
+		return "snapshot-req"
+	case fSnapshot:
+		return "snapshot"
+	case fBye:
+		return "bye"
+	}
+	return fmt.Sprintf("frame(%d)", t)
+}
+
+// wireConn is a framed connection with per-operation deadlines and a
+// write mutex, so the worker's heartbeat goroutine can interleave with
+// its frame replies without corrupting the stream.
+type wireConn struct {
+	c  net.Conn
+	wm sync.Mutex
+}
+
+func newWireConn(c net.Conn) *wireConn { return &wireConn{c: c} }
+
+func (w *wireConn) Close() error { return w.c.Close() }
+
+// writeFrame sends one frame under the write deadline.
+func (w *wireConn) writeFrame(typ uint8, payload []byte, timeout time.Duration) error {
+	w.wm.Lock()
+	defer w.wm.Unlock()
+	if timeout > 0 {
+		if err := w.c.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = typ
+	_, err := w.c.Write(append(hdr, payload...))
+	return err
+}
+
+// readFrame receives one frame under the read deadline.
+func (w *wireConn) readFrame(timeout time.Duration) (uint8, []byte, error) {
+	if timeout > 0 {
+		if err := w.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(w.c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:4])
+	if size > maxFrame {
+		return 0, nil, fmt.Errorf("procrun: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(w.c, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// enc is an append-only payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)    { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) i32(v int32)   { e.u32(uint32(v)) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) f64s(vs []float64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+func (e *enc) i32s(vs []int32) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.i32(v)
+	}
+}
+func (e *enc) tasks(ts []sched.TaskID) {
+	e.u32(uint32(len(ts)))
+	for _, t := range ts {
+		e.i32(int32(t))
+	}
+}
+func (e *enc) bools(bs []bool) {
+	e.u32(uint32(len(bs)))
+	bits := make([]byte, (len(bs)+7)/8)
+	for i, b := range bs {
+		if b {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	e.b = append(e.b, bits...)
+}
+
+// dec is a cursor-based payload reader; the first failed read poisons it
+// so callers check err once at the end.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("procrun: truncated frame at byte %d of %d", d.off, len(d.b))
+	}
+}
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *dec) i32() int32 { return int32(d.u32()) }
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *dec) f64s() []float64 {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+8*n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = d.f64()
+	}
+	return vs
+}
+func (d *dec) i32s() []int32 {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+4*n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = d.i32()
+	}
+	return vs
+}
+func (d *dec) tasks() []sched.TaskID {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+4*n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	ts := make([]sched.TaskID, n)
+	for i := range ts {
+		ts[i] = sched.TaskID(d.i32())
+	}
+	return ts
+}
+func (d *dec) bools() []bool {
+	n := int(d.u32())
+	nb := (n + 7) / 8
+	if d.err != nil || n < 0 || d.off+nb > len(d.b) {
+		d.fail()
+		return nil
+	}
+	bs := make([]bool, n)
+	for i := range bs {
+		bs[i] = d.b[d.off+i/8]&(1<<(i%8)) != 0
+	}
+	d.off += nb
+	return bs
+}

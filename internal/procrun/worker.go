@@ -1,0 +1,461 @@
+package procrun
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sweepsched/internal/faults"
+	"sweepsched/internal/obs"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/transport"
+)
+
+// EnvWorker is the re-exec hook: when set (to "addr|rank") the process
+// is a sweep worker, not a CLI. Binaries that can host workers call
+// MaybeWorker first thing in main (or TestMain), so the orchestrator can
+// spawn m copies of the current executable and turn them into workers.
+const EnvWorker = "SWEEPSCHED_PROCRUN_WORKER"
+
+// MaybeWorker turns the process into a sweep worker if EnvWorker is set,
+// never returning in that case (the process exits when the orchestrator
+// says goodbye, the connection is lost beyond the reconnect budget, or a
+// fatal error occurs). A no-op otherwise.
+func MaybeWorker() {
+	v := os.Getenv(EnvWorker)
+	if v == "" {
+		return
+	}
+	os.Exit(RunWorker(v))
+}
+
+// RunWorker runs the worker loop for an "addr|rank" assignment and
+// returns the process exit code. Exposed for cmd/sweepworker.
+func RunWorker(assignment string) int {
+	parts := strings.Split(assignment, "|")
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "sweepworker: malformed %s=%q (want addr|rank)\n", EnvWorker, assignment)
+		return 2
+	}
+	rank64, err := strconv.ParseInt(parts[1], 10, 32)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepworker: bad rank %q: %v\n", parts[1], err)
+		return 2
+	}
+	w := &worker{addr: parts[0], rank: int32(rank64), col: obs.New()}
+	if err := w.run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepworker[%d]: %v\n", w.rank, err)
+		return 1
+	}
+	return 0
+}
+
+// worker is one sweep processor living in its own OS process. It is a
+// pure frame-reactor: all control (sweeps, epochs, barrier steps,
+// checkpoint triggers, shutdown) comes from the orchestrator; the worker
+// owns only its task arithmetic, its durable checkpoint shards, and its
+// reconnect loop.
+type worker struct {
+	addr string
+	rank int32
+
+	mu   sync.Mutex // guards conn swaps (heartbeat goroutine vs reconnect)
+	conn *wireConn
+
+	inst        *sched.Instance
+	cfg         transport.Config
+	ckptDir     string
+	hbInterval  time.Duration
+	readTimeout time.Duration
+	backoff     Backoff
+	col         *obs.Collector
+
+	// sweep state (reset by fSweep)
+	iter     int32
+	phi      []float64
+	compute  func(sched.TaskID, float64) float64
+	logTasks []sched.TaskID // cumulative completions this sweep, in completion order
+	logPsi   []float64
+
+	// epoch state (reset by fEpoch)
+	epoch     int32
+	assign    sched.Assignment
+	byStep    map[int32][]sched.TaskID
+	doneStart []bool
+	psi       []float64
+	recv      map[sched.TaskID]float64
+	localDone map[sched.TaskID]bool
+}
+
+func (w *worker) current() *wireConn {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conn
+}
+
+func (w *worker) setConn(c *wireConn) {
+	w.mu.Lock()
+	old := w.conn
+	w.conn = c
+	w.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// connect dials the orchestrator and introduces itself. resumed marks a
+// reconnection after a severed link, so the orchestrator re-binds the
+// rank instead of treating it as a fresh arrival.
+func (w *worker) connect(resumed bool) error {
+	c, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return err
+	}
+	wc := newWireConn(c)
+	var e enc
+	e.i32(w.rank)
+	if resumed {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	if err := wc.writeFrame(fHello, e.b, 5*time.Second); err != nil {
+		wc.Close()
+		return err
+	}
+	w.setConn(wc)
+	return nil
+}
+
+// reconnect runs the bounded backoff loop after a lost connection.
+func (w *worker) reconnect() error {
+	delays := w.backoff.delays(w.rank)
+	var lastErr error
+	for _, d := range delays {
+		time.Sleep(d)
+		if lastErr = w.connect(true); lastErr == nil {
+			w.col.Counter("proc.reconnects").Inc()
+			return nil
+		}
+	}
+	return fmt.Errorf("procrun: rank %d: reconnect budget exhausted (%d attempts): %w",
+		w.rank, len(delays), lastErr)
+}
+
+// run is the worker main loop: frames in, replies out, reconnect on a
+// lost link, exit on fBye.
+func (w *worker) run() error {
+	if err := w.connect(false); err != nil {
+		return fmt.Errorf("procrun: rank %d cannot reach orchestrator at %s: %w", w.rank, w.addr, err)
+	}
+	defer func() {
+		if c := w.current(); c != nil {
+			c.Close()
+		}
+	}()
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+
+	readTimeout := 30 * time.Second // until fSetup provides the real one
+	for {
+		conn := w.current()
+		typ, payload, err := conn.readFrame(readTimeout)
+		if err != nil {
+			// Lost or severed link: bounded reconnect, then resume the
+			// frame loop — all sweep/epoch state survives in this process.
+			if rerr := w.reconnect(); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		var reply func() error
+		switch typ {
+		case fSetup:
+			reply, err = w.onSetup(payload, hbStop)
+			if err == nil {
+				readTimeout = w.readTimeout
+			}
+		case fSweep:
+			reply, err = w.onSweep(payload)
+		case fEpoch:
+			reply, err = w.onEpoch(payload)
+		case fStep:
+			reply, err = w.onStep(payload)
+		case fSnapReq:
+			reply, err = w.onSnapshot()
+		case fBye:
+			return nil
+		default:
+			err = fmt.Errorf("procrun: rank %d: unexpected %s frame", w.rank, frameName(typ))
+		}
+		if err != nil {
+			// Protocol/state errors are fatal: report upstream best-effort
+			// and die loudly rather than desynchronize the barrier.
+			var e enc
+			e.u32(0)
+			e.u8(0)
+			e.i32(-1)
+			e.i32(-1)
+			e.str(err.Error())
+			w.current().writeFrame(fAck, e.b, 2*time.Second)
+			return err
+		}
+		if rerr := reply(); rerr != nil {
+			// A failed reply means the link dropped between read and
+			// write; reconnect and let the orchestrator re-drive.
+			if rcerr := w.reconnect(); rcerr != nil {
+				return rcerr
+			}
+		}
+	}
+}
+
+// onSetup decodes the problem spec, rebuilds the instance locally, and
+// starts the heartbeat.
+func (w *worker) onSetup(payload []byte, hbStop <-chan struct{}) (func() error, error) {
+	d := dec{b: payload}
+	spec := ProblemSpec{
+		Family:   d.str(),
+		Scale:    d.f64(),
+		MeshSeed: d.u64(),
+		K:        int(d.u32()),
+		M:        int(d.u32()),
+	}
+	w.cfg = transport.Config{
+		SigmaT: d.f64(),
+		SigmaS: d.f64(),
+		Source: d.f64(),
+	}
+	if sf := d.f64s(); len(sf) > 0 {
+		w.cfg.SourceField = sf
+	}
+	w.ckptDir = d.str()
+	w.hbInterval = time.Duration(d.u32()) * time.Millisecond
+	w.readTimeout = time.Duration(d.u32()) * time.Millisecond
+	w.backoff = Backoff{
+		Base:     time.Duration(d.u32()) * time.Millisecond,
+		Max:      time.Duration(d.u32()) * time.Millisecond,
+		Factor:   d.f64(),
+		Attempts: int(d.u32()),
+		Seed:     d.u64(),
+	}.withDefaults()
+	if d.err != nil {
+		return nil, d.err
+	}
+	inst, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	w.inst = inst
+	if w.hbInterval > 0 {
+		go w.heartbeat(hbStop)
+	}
+	return func() error {
+		var e enc
+		e.u32(uint32(inst.N()))
+		e.u32(uint32(inst.K()))
+		e.u32(uint32(inst.M))
+		return w.current().writeFrame(fSetupOK, e.b, 5*time.Second)
+	}, nil
+}
+
+// heartbeat keeps the liveness channel warm from a dedicated goroutine;
+// the wireConn write mutex serializes it against frame replies. Send
+// errors are ignored — the main loop owns reconnection.
+func (w *worker) heartbeat(stop <-chan struct{}) {
+	tick := time.NewTicker(w.hbInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			w.current().writeFrame(fHeartbeat, nil, w.hbInterval)
+		}
+	}
+}
+
+// onSweep begins a source iteration: fresh scalar flux, empty completion
+// log.
+func (w *worker) onSweep(payload []byte) (func() error, error) {
+	d := dec{b: payload}
+	w.iter = d.i32()
+	w.phi = d.f64s()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if w.inst == nil {
+		return nil, fmt.Errorf("procrun: sweep before setup")
+	}
+	if len(w.phi) != w.inst.N() {
+		return nil, fmt.Errorf("procrun: sweep phi covers %d of %d cells", len(w.phi), w.inst.N())
+	}
+	w.compute = transport.CellBalance(w.inst, w.cfg, w.phi)
+	w.logTasks = w.logTasks[:0]
+	w.logPsi = w.logPsi[:0]
+	w.col.Counter("proc.sweeps").Inc()
+	return w.okReply(), nil
+}
+
+// onEpoch installs an epoch's schedule and durable state: assignment,
+// start steps, the done set, and the checkpointed fluxes the done tasks
+// carry.
+func (w *worker) onEpoch(payload []byte) (func() error, error) {
+	d := dec{b: payload}
+	w.epoch = d.i32()
+	makespan := int(d.u32())
+	assign := d.i32s()
+	start := d.i32s()
+	done := d.bools()
+	psi := d.f64s()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if w.inst == nil {
+		return nil, fmt.Errorf("procrun: epoch before setup")
+	}
+	if len(assign) != w.inst.N() || len(start) != w.inst.NTasks() ||
+		len(done) != w.inst.NTasks() || len(psi) != w.inst.NTasks() {
+		return nil, fmt.Errorf("procrun: epoch frame shapes do not match the instance")
+	}
+	w.assign = sched.Assignment(assign)
+	s := &sched.Schedule{Inst: w.inst, Assign: w.assign, Start: start, Makespan: makespan}
+	groups, err := sched.GroupSteps(s, w.assign, done)
+	if err != nil {
+		return nil, err
+	}
+	w.byStep = groups[w.rank]
+	w.doneStart = done
+	w.psi = psi
+	w.recv = map[sched.TaskID]float64{}
+	w.localDone = map[sched.TaskID]bool{}
+	w.col.Counter("proc.epochs").Inc()
+	return w.okReply(), nil
+}
+
+// onStep runs one barrier step: durable checkpoint if flagged (before
+// executing, so the shard covers completions strictly before this
+// step), deliveries into the receive set, then this step's tasks.
+func (w *worker) onStep(payload []byte) (func() error, error) {
+	d := dec{b: payload}
+	local := d.i32()
+	global := d.i32()
+	ckpt := d.u8() == 1
+	nDeliv := int(d.u32())
+	type deliv struct {
+		task sched.TaskID
+		psi  float64
+	}
+	delivs := make([]deliv, 0, nDeliv)
+	for i := 0; i < nDeliv; i++ {
+		delivs = append(delivs, deliv{task: sched.TaskID(d.i32()), psi: d.f64()})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if w.byStep == nil {
+		return nil, fmt.Errorf("procrun: step before epoch")
+	}
+	if ckpt {
+		ck := &faults.Checkpoint{
+			Rank: w.rank, Iter: w.iter, Epoch: w.epoch, Step: global,
+			Tasks: w.logTasks, Psi: w.logPsi,
+		}
+		if _, err := faults.WriteDurable(w.ckptDir, ck); err != nil {
+			return nil, fmt.Errorf("procrun: rank %d checkpoint: %w", w.rank, err)
+		}
+		w.col.Counter("proc.checkpoints").Inc()
+	}
+	for _, dl := range delivs {
+		w.recv[dl.task] = dl.psi
+	}
+
+	var e enc
+	var completed []deliv
+	stalled := false
+	stallTask, stallMiss := sched.TaskID(-1), sched.TaskID(-1)
+	errMsg := ""
+	inst := w.inst
+	n := int32(inst.N())
+	for _, t := range w.byStep[local] {
+		v, i := inst.Split(t)
+		dag := inst.DAGs[i]
+		base := sched.TaskID(int32(i) * n)
+		inflow := 0.0
+		preds := dag.In(v)
+		ok := true
+		for _, u := range preds {
+			ut := base + sched.TaskID(u)
+			switch {
+			case w.doneStart[ut]:
+				inflow += w.psi[ut] // durable value from an earlier epoch
+			case w.assign[u] == w.rank:
+				if !w.localDone[ut] {
+					errMsg = fmt.Sprintf("procrun: rank %d task %d at step %d: local input %d not done", w.rank, t, global, ut)
+					ok = false
+				} else {
+					inflow += w.psi[ut]
+				}
+			default:
+				val, have := w.recv[ut]
+				if !have {
+					stalled, stallTask, stallMiss = true, t, ut
+					ok = false
+				} else {
+					inflow += val
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		if len(preds) > 0 {
+			inflow /= float64(len(preds))
+		}
+		val := w.compute(t, inflow)
+		w.psi[t] = val
+		w.localDone[t] = true
+		w.logTasks = append(w.logTasks, t)
+		w.logPsi = append(w.logPsi, val)
+		completed = append(completed, deliv{task: t, psi: val})
+		w.col.Counter("proc.tasks").Inc()
+	}
+	w.col.Counter("proc.steps").Inc()
+
+	e.u32(uint32(len(completed)))
+	for _, c := range completed {
+		e.i32(int32(c.task))
+		e.f64(c.psi)
+	}
+	if stalled {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.i32(int32(stallTask))
+	e.i32(int32(stallMiss))
+	e.str(errMsg)
+	return func() error { return w.current().writeFrame(fAck, e.b, 5*time.Second) }, nil
+}
+
+// onSnapshot ships the worker's metrics snapshot for the orchestrator's
+// merged report.
+func (w *worker) onSnapshot() (func() error, error) {
+	var buf strings.Builder
+	if err := w.col.Snapshot().WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	b := []byte(buf.String())
+	return func() error { return w.current().writeFrame(fSnapshot, b, 5*time.Second) }, nil
+}
+
+func (w *worker) okReply() func() error {
+	return func() error { return w.current().writeFrame(fOK, nil, 5*time.Second) }
+}

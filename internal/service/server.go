@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,7 @@ func (cfg Config) withDefaults() Config {
 //	POST /v1/transport — schedule + discrete-ordinates transport solve
 //	GET  /v1/stats     — cache/admission/metrics accounting
 //	GET  /healthz      — liveness; 503 once draining
+//	GET  /readyz       — readiness; 503 while initializing or draining
 //
 // Construct with New, serve with Handler, stop with BeginDrain +
 // http.Server.Shutdown (see cmd/sweepschedd).
@@ -87,6 +89,7 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
+	ready    atomic.Bool
 
 	// testHook, when non-nil, runs inside the admitted section of
 	// every schedule build with the named stage. Tests use it to hold
@@ -109,6 +112,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/transport", s.handleTransport)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// Caches and the admission semaphore are live; the server can take
+	// traffic. Kept as an explicit flip so future construction stages
+	// (warmed caches, loaded meshes) extend the not-ready window instead
+	// of silently racing it.
+	s.ready.Store(true)
 	return s
 }
 
@@ -225,7 +234,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errBusy):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		// An honest estimate beats a constant: queue depth over observed
+		// service rate, so clients under sustained overload spread out
+		// instead of hammering in lockstep.
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 	case errors.Is(err, context.Canceled):
 		status = 499
 	case errors.Is(err, context.DeadlineExceeded):
@@ -257,6 +269,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: a live
+// server that is still initializing or already draining should be taken
+// out of rotation without being restarted.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.col.Counter("service.requests.readyz").Inc()
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "initializing", http.StatusServiceUnavailable)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -346,7 +374,8 @@ func (s *Server) schedule(ctx context.Context, req *ScheduleRequest) (*ScheduleR
 		}
 		return nil, err
 	}
-	defer s.adm.release()
+	admitted := time.Now()
+	defer func() { s.adm.release(time.Since(admitted)) }()
 	s.col.Counter("service.admission.admitted").Inc()
 	if s.testHook != nil {
 		s.testHook("admitted", ctx)
@@ -663,7 +692,8 @@ func (s *Server) transport(ctx context.Context, req *TransportRequest) (*Transpo
 		}
 		return nil, err
 	}
-	defer s.adm.release()
+	admitted := time.Now()
+	defer func() { s.adm.release(time.Since(admitted)) }()
 	s.col.Counter("service.admission.admitted").Inc()
 	if s.testHook != nil {
 		s.testHook("admitted", ctx)

@@ -57,35 +57,17 @@ func Run(s *sched.Schedule) (*Result, error) {
 func RunCtx(ctx context.Context, s *sched.Schedule) (*Result, error) {
 	inst := s.Inst
 	m := inst.M
-	nt := inst.NTasks()
-	n := int32(inst.N())
 
-	// Group tasks by (processor, step).
+	// Group tasks by (processor, step) and size inboxes with the exact
+	// per-processor incoming message counts, so that sends never block
+	// (avoiding coordinator/worker deadlock). Both partitions are the
+	// shared barrier-executor helpers (sched.GroupSteps/CrossIncoming).
 	steps := s.Makespan
-	perProcStep := make([]map[int32][]sched.TaskID, m)
-	for p := range perProcStep {
-		perProcStep[p] = make(map[int32][]sched.TaskID)
+	perProcStep, err := sched.GroupSteps(s, nil, nil)
+	if err != nil {
+		return nil, err
 	}
-	for t := 0; t < nt; t++ {
-		v, _ := inst.Split(sched.TaskID(t))
-		p := s.Assign[v]
-		st := s.Start[t]
-		perProcStep[p][st] = append(perProcStep[p][st], sched.TaskID(t))
-	}
-
-	// Exact per-processor incoming message counts, to size inboxes so that
-	// sends never block (avoiding coordinator/worker deadlock).
-	incoming := make([]int, m)
-	for _, d := range inst.DAGs {
-		for u := int32(0); u < n; u++ {
-			pu := s.Assign[u]
-			for _, w := range d.Out(u) {
-				if s.Assign[w] != pu {
-					incoming[s.Assign[w]]++
-				}
-			}
-		}
-	}
+	incoming := sched.CrossIncoming(inst, s.Assign, nil)
 	inbox := make([]chan message, m)
 	for p := range inbox {
 		inbox[p] = make(chan message, incoming[p]+1)

@@ -49,24 +49,13 @@ func SolveFaultTolerant(ctx context.Context, s *sched.Schedule, cfg Config, plan
 	}
 	phi := make([]float64, inst.N())
 	psi := make([]float64, inst.NTasks())
-	// Same cell-balance closure as sweepOnce, reading the previous
-	// iteration's scalar flux (updatePhi rewrites phi in place between
-	// sweeps, so the capture stays current).
-	compute := func(t sched.TaskID, inflow float64) float64 {
-		v, _ := inst.Split(t)
-		q := cfg.Source
-		if cfg.SourceField != nil {
-			q = cfg.SourceField[v]
-		}
-		q += cfg.SigmaS * phi[v]
-		return (q + inflow) / (1 + cfg.SigmaT)
-	}
+	compute := CellBalance(inst, cfg, phi)
 	res := &Result{}
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
 		if err := eng.Sweep(ctx, compute, psi); err != nil {
 			return nil, eng.Report(), err
 		}
-		res.Residual = updatePhi(inst, psi, phi, cfg)
+		res.Residual = UpdatePhi(inst, psi, phi, cfg)
 		res.Iterations = iter
 		if res.Residual < cfg.Tol {
 			res.Converged = true

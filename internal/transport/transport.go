@@ -109,12 +109,35 @@ type Result struct {
 	Converged  bool
 }
 
+// CellBalance returns the per-task cell-balance closure every executor
+// shares — serial, goroutine-parallel, fault-injected, and the worker
+// processes of internal/procrun:
+//
+//	psi = (q + inflow) / (1 + SigmaT),  q = source(v) + SigmaS·φ[v]
+//
+// The closure reads phi at call time (UpdatePhi rewrites it in place
+// between sweeps, so the capture stays current) and is otherwise a pure
+// function of (task, inflow) within one sweep — the property that makes
+// replayed tasks, on any executor, reproduce their fluxes bitwise.
+func CellBalance(inst *sched.Instance, cfg Config, phi []float64) func(t sched.TaskID, inflow float64) float64 {
+	return func(t sched.TaskID, inflow float64) float64 {
+		v, _ := inst.Split(t)
+		q := cfg.Source
+		if cfg.SourceField != nil {
+			q = cfg.SourceField[v]
+		}
+		q += cfg.SigmaS * phi[v]
+		return (q + inflow) / (1 + cfg.SigmaT)
+	}
+}
+
 // sweepOnce computes one full sweep of every direction given the previous
 // scalar flux, writing angular fluxes into psi (indexed i*n+v). done is a
 // scratch bool slice of the same length. Tasks are processed in the given
 // order, which must be precedence-compatible.
 func sweepOnce(inst *sched.Instance, order []sched.TaskID, phi, psi []float64, done []bool, cfg Config) error {
 	n := int32(inst.N())
+	compute := CellBalance(inst, cfg, phi)
 	for i := range done {
 		done[i] = false
 	}
@@ -134,21 +157,16 @@ func sweepOnce(inst *sched.Instance, order []sched.TaskID, phi, psi []float64, d
 		if len(preds) > 0 {
 			inflow /= float64(len(preds))
 		}
-		q := cfg.Source
-		if cfg.SourceField != nil {
-			q = cfg.SourceField[v]
-		}
-		q += cfg.SigmaS * phi[v]
-		psi[base+v] = (q + inflow) / (1 + cfg.SigmaT)
+		psi[base+v] = compute(t, inflow)
 		done[base+v] = true
 	}
 	return nil
 }
 
-// updatePhi folds psi into a new scalar flux using the configured angular
+// UpdatePhi folds psi into a new scalar flux using the configured angular
 // weights, in a fixed (cell-major, direction-minor) order so every executor
 // produces the same floating-point result. It returns the max |Δφ|.
-func updatePhi(inst *sched.Instance, psi, phi []float64, cfg Config) float64 {
+func UpdatePhi(inst *sched.Instance, psi, phi []float64, cfg Config) float64 {
 	n := inst.N()
 	k := inst.K()
 	maxDiff := 0.0
@@ -230,7 +248,7 @@ func SolveCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, erro
 			return nil, err
 		}
 		cfg.Collector.Counter("transport.iterations").Inc()
-		res.Residual = updatePhi(inst, psi, phi, cfg)
+		res.Residual = UpdatePhi(inst, psi, phi, cfg)
 		res.Iterations = iter
 		if res.Residual < cfg.Tol {
 			res.Converged = true
@@ -280,28 +298,14 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 	n := int32(inst.N())
 	nt := inst.NTasks()
 
-	// Group tasks per processor per step, preserving TaskID order.
-	perProcStep := make([]map[int32][]sched.TaskID, m)
-	for p := range perProcStep {
-		perProcStep[p] = map[int32][]sched.TaskID{}
+	// Group tasks per processor per step (TaskID order preserved) and size
+	// inboxes with the exact incoming cross-edge counts, via the shared
+	// barrier-executor helpers.
+	perProcStep, err := sched.GroupSteps(s, nil, nil)
+	if err != nil {
+		return nil, err
 	}
-	for t := 0; t < nt; t++ {
-		v, _ := inst.Split(sched.TaskID(t))
-		p := s.Assign[v]
-		perProcStep[p][s.Start[t]] = append(perProcStep[p][s.Start[t]], sched.TaskID(t))
-	}
-	// Inbox sizing: exact incoming cross-edge counts per processor.
-	incoming := make([]int, m)
-	for _, d := range inst.DAGs {
-		for u := int32(0); u < n; u++ {
-			pu := s.Assign[u]
-			for _, w := range d.Out(u) {
-				if s.Assign[w] != pu {
-					incoming[s.Assign[w]]++
-				}
-			}
-		}
-	}
+	incoming := sched.CrossIncoming(inst, s.Assign, nil)
 	inbox := make([]chan fluxMsg, m)
 	stepCh := make([]chan int32, m)
 	for p := 0; p < m; p++ {
@@ -322,6 +326,7 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 		wg.Add(1)
 		go func(p int32) {
 			defer wg.Done()
+			compute := CellBalance(inst, cfg, phi)
 			recvPsi := map[sched.TaskID]float64{}
 			for st := range stepCh[p] {
 				if st < 0 {
@@ -371,12 +376,7 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 					if len(preds) > 0 {
 						inflow /= float64(len(preds))
 					}
-					q := cfg.Source
-					if cfg.SourceField != nil {
-						q = cfg.SourceField[v]
-					}
-					q += cfg.SigmaS * phi[v]
-					val := (q + inflow) / (1 + cfg.SigmaT)
+					val := compute(t, inflow)
 					psi[base+v] = val
 					for _, w := range d.Out(v) {
 						if qp := s.Assign[w]; qp != p {
@@ -434,7 +434,7 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 			solveErr = err
 			break
 		}
-		res.Residual = updatePhi(inst, psi, phi, cfg)
+		res.Residual = UpdatePhi(inst, psi, phi, cfg)
 		res.Iterations = iter
 		if res.Residual < cfg.Tol {
 			res.Converged = true
