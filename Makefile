@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience procfault fuzz bench bench-dag bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
+.PHONY: check ci race resilience procfault fuzz bench bench-dag bench-angleset bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime 10s ./internal/faults
 	$(GO) test -run '^$$' -fuzz '^FuzzScheduleRequest$$' -fuzztime 10s ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzTransportRequest$$' -fuzztime 10s ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzAnglesetExpand$$' -fuzztime 10s ./internal/sched
 
 ci:
 	./ci.sh
@@ -77,6 +78,13 @@ bench:
 # counts. Recorded numbers live in BENCH_PR5.json.
 bench-dag:
 	$(GO) test -run '^$$' -bench 'Benchmark(BuildInto|BuildAllFamily)/' -benchmem ./internal/dag
+
+# The angleset-aggregation benchmarks (PR 8): the full warm schedule
+# build per direction vs per octant angleset (the headline, recorded in
+# BENCH_PR8.json), plus the kernel-stage comparison on expanded vs
+# compact inputs with its 0 allocs/op contract.
+bench-angleset:
+	$(GO) test -run '^$$' -bench 'BenchmarkAngleset' -benchmem -benchtime 2s -count 5 ./internal/sched ./internal/heuristics
 
 # Reproduce the numbers recorded in BENCH_PR1.json, BENCH_PR3.json and
 # BENCH_PR5.json.

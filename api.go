@@ -276,6 +276,33 @@ type ScheduleOptions struct {
 	// kernel-level sched.* series). A nil collector costs nothing on the
 	// hot path.
 	Collector *obs.Collector
+	// Anglesets > 0 aggregates the per-direction pipeline: directions are
+	// partitioned into about this many sign-homogeneous anglesets (octant
+	// grouping, split largest-first toward the requested count, capped at
+	// one direction per set), priorities and release delays are computed
+	// once per angleset on its representative DAG, and the aggregated
+	// kernel expands them back to per-direction task placements —
+	// precedence is always enforced with every direction's own DAG.
+	// Requires a problem built with an explicit direction set (geometric
+	// problems); the layer-synchronous RandomDelays and ImprovedDelays
+	// schedulers do not support aggregation. 0 disables aggregation (the
+	// per-direction pipeline); negative values are rejected.
+	Anglesets int
+}
+
+// anglesets resolves the option's requested aggregation into a direction
+// partition, or nil when aggregation is off.
+func (p *Problem) anglesets(opts ScheduleOptions) ([][]int32, error) {
+	if opts.Anglesets == 0 {
+		return nil, nil
+	}
+	if opts.Anglesets < 0 {
+		return nil, fmt.Errorf("sweepsched: Anglesets must be >= 1, got %d", opts.Anglesets)
+	}
+	if len(p.inst.Dirs) != p.inst.K() {
+		return nil, fmt.Errorf("sweepsched: angleset aggregation requires a problem with a direction set; this problem is non-geometric")
+	}
+	return quadrature.AnglesetsFor(p.inst.Dirs, opts.Anglesets)
 }
 
 // verifyOn reports whether this run has verification enabled at all.
@@ -322,6 +349,10 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 		return nil, fmt.Errorf("sweepsched: %s is layer-synchronous and does not support comm delays; use %s",
 			RandomDelays, RandomDelaysPriority)
 	}
+	groups, err := p.anglesets(opts)
+	if err != nil {
+		return nil, err
+	}
 	r := rng.New(opts.Seed)
 	var assign sched.Assignment
 	if opts.BlockSize <= 1 {
@@ -337,18 +368,28 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 		}
 		assign = sched.BlockAssignment(part, nBlocks, p.inst.M, r)
 	}
-	prio, err := priorityFor(alg, p.inst, assign, r, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
 	// The kernel's transient state comes from the shape-keyed pool; only
 	// the returned schedule (which escapes into the Result) is allocated.
 	ws := sched.GetWorkspace(p.inst)
 	ws.SetObserver(opts.Collector)
 	defer ws.Release()
 	s := &sched.Schedule{}
-	if err := sched.CommScheduleInto(ws, s, p.inst, assign, prio, commDelay); err != nil {
-		return nil, err
+	if groups != nil {
+		aggPrio, err := aggPriorityFor(alg, p.inst, assign, groups, r, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.CommScheduleAnglesetInto(ws, s, p.inst, assign, groups, aggPrio, commDelay); err != nil {
+			return nil, err
+		}
+	} else {
+		prio, err := priorityFor(alg, p.inst, assign, r, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.CommScheduleInto(ws, s, p.inst, assign, prio, commDelay); err != nil {
+			return nil, err
+		}
 	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("sweepsched: invalid comm schedule: %w", err)
@@ -358,7 +399,7 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 	}
 	met := sched.Measure(s, opts.Workers)
 	if p.shouldVerify(opts) {
-		if err := verify.Schedule(p.inst, s, verify.Opts{CommDelay: commDelay, Metrics: &met}); err != nil {
+		if err := verify.Schedule(p.inst, s, verify.Opts{CommDelay: commDelay, Metrics: &met, Anglesets: groups}); err != nil {
 			return nil, fmt.Errorf("sweepsched: comm schedule failed the audit: %w", err)
 		}
 		opts.Collector.Counter("api.verified").Inc()
@@ -370,6 +411,37 @@ func (p *Problem) ScheduleComm(alg Scheduler, opts ScheduleOptions, commDelay in
 		Metrics:  met,
 		Ratio:    lb.Ratio(s.Makespan, p.inst),
 	}, nil
+}
+
+// aggPriorityFor derives per-angleset aggregate priorities for the
+// comm-delay path: each angleset's segment is filled from its
+// representative DAG (the same amortization RunAnglesetInto performs for
+// the main path). ImprovedDelays is refused — its priorities come from a
+// global greedy schedule over all k directions, which has no
+// representative-DAG form.
+func aggPriorityFor(alg Scheduler, inst *sched.Instance, assign sched.Assignment, groups [][]int32, r *rng.Source, workers int) (sched.Priorities, error) {
+	prio := make(sched.Priorities, inst.N()*len(groups))
+	switch alg {
+	case RandomDelaysPriority:
+		delays := coreDelays(len(groups), r)
+		n := int32(inst.N())
+		for a, g := range groups {
+			d := inst.DAGs[g[0]]
+			base := int32(a) * n
+			for v := int32(0); v < n; v++ {
+				prio[base+v] = int64(d.Level[v] + delays[a])
+			}
+		}
+	case Level, LevelDelays:
+		heuristics.LevelAnglesetPrioritiesInto(prio, inst, groups, workers)
+	case Descendant, DescendantDelays:
+		heuristics.DescendantAnglesetPrioritiesInto(prio, inst, groups, workers)
+	case DFDS, DFDSDelays:
+		heuristics.DFDSAnglesetPrioritiesInto(prio, inst, assign, groups, workers)
+	default:
+		return nil, fmt.Errorf("sweepsched: %s does not support angleset aggregation under comm delays", alg)
+	}
+	return prio, nil
 }
 
 // priorityFor derives the task priorities a scheduler would use, for the
@@ -442,6 +514,9 @@ func (p *Problem) ScheduleWeighted(alg Scheduler, opts ScheduleOptions, weights 
 	if alg == RandomDelays {
 		return nil, fmt.Errorf("sweepsched: %s is layer-synchronous and has no weighted form; use %s",
 			RandomDelays, RandomDelaysPriority)
+	}
+	if opts.Anglesets != 0 {
+		return nil, fmt.Errorf("sweepsched: the weighted scheduler has no angleset-aggregated form")
 	}
 	if err := weights.Validate(p.inst.N()); err != nil {
 		return nil, err

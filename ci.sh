@@ -57,6 +57,15 @@ echo "== service: sweepschedd daemon suite under -race + loadtest smoke =="
 go test -race -count=1 -timeout 120s ./internal/service ./internal/cliutil
 go run ./cmd/sweeploadtest -clients 8 -requests 4 -scale 0.02 -k 8 -m 16 -verify-every 4 -out /dev/null
 
+echo "== angleset smoke: aggregated pipeline end to end under -race, every run audited =="
+# The aggregated scheduling path (priorities once per octant angleset on
+# representative DAGs, anglesets-aware kernel) through the real CLI, with
+# the independent auditor re-checking every produced schedule against
+# per-direction true DAGs rebuilt from scratch (-anglesets triggers the
+# wrong-octant audit in internal/verify).
+go run -race ./cmd/sweepsim -mesh tetonly -scale 0.02 -k 16 -m 8 \
+    -alg descendant_delays -anglesets 8 -verify -verify-every 1
+
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run '^$' -fuzz '^FuzzFromEdges$' -fuzztime "$FUZZTIME" ./internal/dag
 go test -run '^$' -fuzz '^FuzzBuildEquivalence$' -fuzztime "$FUZZTIME" ./internal/dag
@@ -64,5 +73,6 @@ go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/mesh
 go test -run '^$' -fuzz '^FuzzDecodeTrace$' -fuzztime "$FUZZTIME" ./internal/sched
 go test -run '^$' -fuzz '^FuzzFaultPlan$' -fuzztime "$FUZZTIME" ./internal/faults
 go test -run '^$' -fuzz '^FuzzScheduleRequest$' -fuzztime "$FUZZTIME" ./internal/service
+go test -run '^$' -fuzz '^FuzzAnglesetExpand$' -fuzztime "$FUZZTIME" ./internal/sched
 
 echo "ci: all green"

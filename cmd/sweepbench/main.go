@@ -37,6 +37,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		workers    = flag.Int("workers", 0, "goroutines for experiment rows and per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
+		anglesets  = flag.Int("anglesets", 0, "run the fig3 harness with priorities aggregated into about this many octant anglesets (omit for the per-direction pipeline)")
 		doVerify   = flag.Bool("verify", false, "audit every produced schedule with the internal/verify auditor (fails fast on the first violation)")
 		verifyN    = flag.Int("verify-every", 1, "with -verify, audit only every Nth trial (1 = every trial)")
 		doStats    = flag.Bool("stats", false, "print accumulated counters and stage timings after the experiments")
@@ -48,6 +49,13 @@ func main() {
 	if err := cliutil.ValidateVerifyEvery(*verifyN); err != nil {
 		fatal(err)
 	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "anglesets" {
+			if err := cliutil.ValidateAnglesets(*anglesets); err != nil {
+				fatal(err)
+			}
+		}
+	})
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -95,6 +103,7 @@ func main() {
 		Workers:     *workers,
 		Verify:      *doVerify,
 		VerifyEvery: *verifyN,
+		Anglesets:   *anglesets,
 	}
 	if *doStats {
 		cfg.Collector = obs.New()

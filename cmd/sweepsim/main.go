@@ -53,6 +53,7 @@ func main() {
 		saveTrace  = flag.String("savetrace", "", "write the schedule trace to this path (view with sweepview)")
 		weighted   = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
 		workers    = flag.Int("workers", 0, "goroutines for per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
+		anglesets  = flag.Int("anglesets", 0, "aggregate directions into about this many octant anglesets (priorities once per angleset on representative DAGs; omit for the per-direction pipeline)")
 		doVerify   = flag.Bool("verify", false, "audit the schedule with the internal/verify auditor (independent recomputation of every constraint and metric)")
 		verifyN    = flag.Int("verify-every", 1, "with -verify, audit only every Nth scheduling run (1 = every run)")
 		doStats    = flag.Bool("stats", false, "print the run's counters and stage timings on exit")
@@ -74,6 +75,15 @@ func main() {
 	if err := cliutil.ValidateVerifyEvery(*verifyN); err != nil {
 		fatal(err)
 	}
+	// -anglesets distinguishes "absent" (per-direction) from an explicit
+	// value, which must name at least one angleset.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "anglesets" {
+			if err := cliutil.ValidateAnglesets(*anglesets); err != nil {
+				fatal(err)
+			}
+		}
+	})
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -127,7 +137,7 @@ func main() {
 	fmt.Printf("lower bounds: nk/m=%.1f k=%d D=%d (max %d)\n",
 		bounds.Load, bounds.PerCell, bounds.CriticalPath, bounds.Max())
 
-	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed, Workers: *workers, Verify: *doVerify, VerifyEvery: *verifyN}
+	opts := sweepsched.ScheduleOptions{BlockSize: *block, Seed: *seed, Workers: *workers, Verify: *doVerify, VerifyEvery: *verifyN, Anglesets: *anglesets}
 	var col *sweepsched.StatsCollector
 	if *doStats {
 		col = sweepsched.NewStatsCollector()

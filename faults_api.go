@@ -65,6 +65,10 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	groups, err := p.anglesets(opts)
+	if err != nil {
+		return nil, err
+	}
 	col := opts.Collector
 	r := rng.New(opts.Seed)
 	aspan := col.Span("api.assign.time")
@@ -94,7 +98,12 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 	defer ws.Release()
 	s := &sched.Schedule{}
 	sspan := col.Span("api.schedule.time")
-	if err := heuristics.RunInto(ws, s, alg, p.inst, assign, r, opts.Workers); err != nil {
+	if groups != nil {
+		err = heuristics.RunAnglesetInto(ws, s, alg, p.inst, assign, groups, r, opts.Workers)
+	} else {
+		err = heuristics.RunInto(ws, s, alg, p.inst, assign, r, opts.Workers)
+	}
+	if err != nil {
 		return nil, err
 	}
 	sspan.End()
@@ -112,7 +121,7 @@ func (p *Problem) ScheduleCtx(ctx context.Context, alg Scheduler, opts ScheduleO
 	mspan.End()
 	if p.shouldVerify(opts) {
 		vspan := col.Span("api.verify.time")
-		err := verify.Schedule(p.inst, s, verify.Opts{Metrics: &met})
+		err := verify.Schedule(p.inst, s, verify.Opts{Metrics: &met, Anglesets: groups})
 		vspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("sweepsched: scheduler %s failed the schedule audit: %w", alg, err)

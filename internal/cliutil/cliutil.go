@@ -18,6 +18,16 @@ func ValidateVerifyEvery(n int) error {
 	return nil
 }
 
+// ValidateAnglesets rejects explicit -anglesets values < 1: the flag's
+// absence means "per-direction pipeline", so an explicit 0 or negative
+// is a contradiction, not a disable switch (omit the flag to disable).
+func ValidateAnglesets(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-anglesets must be >= 1 when given (omit the flag for the per-direction pipeline), got %d", n)
+	}
+	return nil
+}
+
 // ValidatePositive rejects values < 1 for flags that name a count that
 // must exist (clients, requests, concurrency slots).
 func ValidatePositive(flag string, n int) error {

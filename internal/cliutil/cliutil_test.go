@@ -67,3 +67,16 @@ func TestValidateNonNegative(t *testing.T) {
 		})
 	}
 }
+
+func TestValidateAnglesets(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 100} {
+		if err := ValidateAnglesets(n); err != nil {
+			t.Errorf("n=%d: unexpected error %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -8} {
+		if err := ValidateAnglesets(n); err == nil {
+			t.Errorf("n=%d: expected error", n)
+		}
+	}
+}

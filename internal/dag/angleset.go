@@ -1,0 +1,114 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"sweepsched/internal/geom"
+	"sweepsched/internal/par"
+)
+
+// Angleset-aggregated family construction. Directions in one sign
+// octant often orient every skeleton face the same way — always on
+// regular hex meshes, whose interior normals are axis-aligned — and
+// identical face orientations mean BuildInto emits the identical edge
+// list, so one representative DAG serves the whole angleset. On
+// unstructured meshes an octant's members can disagree on faces whose
+// normals tilt between the member directions, so sharing is guarded by
+// an exact per-face orientation-class check: anglesets are refined into
+// maximal consistent subgroups first, and only those share storage.
+// Sharing is therefore always sound — a shared DAG is bitwise-identical
+// to the per-direction build (and to the frozen refimpl builder) for
+// every member it serves.
+
+// orientationClass is BuildInto's per-face edge decision: +1 keeps the
+// face's U→V orientation, -1 flips it, 0 drops the face. Two directions
+// with equal classes on every face induce the same DAG.
+func orientationClass(nx, ny, nz float64, dir geom.Vec3) int8 {
+	d := (geom.Vec3{X: nx, Y: ny, Z: nz}).Dot(dir)
+	switch {
+	case d > Eps:
+		return 1
+	case d < -Eps:
+		return -1
+	}
+	return 0
+}
+
+func sameClasses(repClass []int8, skel *Skeleton, dir geom.Vec3) bool {
+	for j := range repClass {
+		if orientationClass(skel.NX[j], skel.NY[j], skel.NZ[j], dir) != repClass[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// RefineAnglesets splits every angleset into maximal subgroups whose
+// member directions orient every skeleton face identically, so each
+// subgroup can share one representative DAG. Refinement is greedy from
+// each group's first member (members keep their ascending order, so
+// refined groups remain valid anglesets) and the result is
+// re-canonicalized by first member. Groups that are already consistent
+// — every octant group on a regular hex mesh — come back unchanged.
+func RefineAnglesets(skel *Skeleton, dirs []geom.Vec3, groups [][]int32) [][]int32 {
+	nf := skel.NFaces()
+	repClass := make([]int8, nf)
+	out := make([][]int32, 0, len(groups))
+	for _, g := range groups {
+		pending := g
+		for len(pending) > 0 {
+			rep := dirs[pending[0]]
+			for j := 0; j < nf; j++ {
+				repClass[j] = orientationClass(skel.NX[j], skel.NY[j], skel.NZ[j], rep)
+			}
+			sub := pending[:1:1]
+			var rest []int32
+			for _, i := range pending[1:] {
+				if sameClasses(repClass, skel, dirs[i]) {
+					sub = append(sub, i)
+				} else {
+					rest = append(rest, i)
+				}
+			}
+			out = append(out, sub)
+			pending = rest
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// BuildAllAnglesets builds the DAG family for dirs with one build per
+// consistent angleset subgroup instead of one per direction: groups is
+// refined with RefineAnglesets, each refined subgroup gets a single
+// representative DAG built from its first member, and every member's
+// slot in the returned family points at that shared DAG. The second
+// result is the refined partition actually used (equal to groups
+// whenever every angleset was orientation-consistent). groups must
+// partition the direction indices 0..len(dirs)-1.
+//
+// Because sharing requires identical orientation classes, every slot of
+// the returned family is bitwise-identical to the per-direction
+// BuildAllSkeleton result — shared pointers only change aliasing, never
+// content.
+func BuildAllAnglesets(skel *Skeleton, dirs []geom.Vec3, groups [][]int32, workers int) ([]*DAG, [][]int32) {
+	refined := RefineAnglesets(skel, dirs, groups)
+	dst := make([]*DAG, len(dirs))
+	_ = par.ForEach(len(refined), workers, func(a int) error {
+		b := GetBuilder(skel)
+		d := &DAG{}
+		b.BuildInto(d, skel, dirs[refined[a][0]])
+		b.Release()
+		for _, i := range refined[a] {
+			dst[i] = d
+		}
+		return nil
+	})
+	for i, d := range dst {
+		if d == nil {
+			panic(fmt.Sprintf("dag: anglesets do not cover direction %d", i))
+		}
+	}
+	return dst, refined
+}

@@ -60,6 +60,13 @@ type Config struct {
 	// Collector, when non-nil, accumulates trial counters and stage
 	// timings across the experiment's runs.
 	Collector *obs.Collector
+	// Anglesets > 0 runs the Figure 3 heuristic-ratio harness with
+	// angleset aggregation: directions are partitioned into about this
+	// many sign-homogeneous anglesets and priorities are computed once
+	// per angleset on representative DAGs (see internal/heuristics).
+	// Audited trials additionally pass the aggregated-schedule audit.
+	// 0 keeps the per-direction pipeline.
+	Anglesets int
 }
 
 // render writes a finished table in the configured format.
@@ -242,6 +249,14 @@ func (w *Workload) Assignment(blockSize, m int, r *rng.Source) (sched.Assignment
 // and mean ratio to the nk/m lower bound.
 func meanMakespanRatio(cfg Config, inst *sched.Instance, seedTag uint64,
 	fn func(r *rng.Source) (*sched.Schedule, error)) (makespan float64, ratio float64, err error) {
+	return meanMakespanRatioOpts(cfg, inst, seedTag, verify.Opts{}, fn)
+}
+
+// meanMakespanRatioOpts is meanMakespanRatio with explicit audit
+// options, for harnesses whose schedules carry extra contracts (the
+// angleset-aggregated Figure 3 runs).
+func meanMakespanRatioOpts(cfg Config, inst *sched.Instance, seedTag uint64, vopts verify.Opts,
+	fn func(r *rng.Source) (*sched.Schedule, error)) (makespan float64, ratio float64, err error) {
 	var sumMs, sumRatio float64
 	for trial := 0; trial < cfg.Trials; trial++ {
 		r := rng.New(cfg.Seed ^ seedTag ^ (uint64(trial+1) * 0x9e3779b97f4a7c15))
@@ -251,7 +266,7 @@ func meanMakespanRatio(cfg Config, inst *sched.Instance, seedTag uint64,
 		}
 		cfg.Collector.Counter("experiments.trials").Inc()
 		if cfg.auditTrial(trial) {
-			if err := verify.Schedule(inst, s, verify.Opts{}); err != nil {
+			if err := verify.Schedule(inst, s, vopts); err != nil {
 				return 0, 0, fmt.Errorf("experiments: trial %d failed the schedule audit: %w", trial, err)
 			}
 			cfg.Collector.Counter("experiments.verified").Inc()

@@ -260,3 +260,26 @@ func TestVerifyEverySamplesAudits(t *testing.T) {
 		t.Fatal("default sampling audited nothing")
 	}
 }
+
+// TestFig3Anglesets: the Figure 3 harness runs aggregated (priorities
+// once per octant angleset), every audited trial passes the
+// angleset-aware audit, and the output stays deterministic.
+func TestFig3Anglesets(t *testing.T) {
+	run := func() string {
+		var out strings.Builder
+		cfg := tinyConfig(&out)
+		cfg.Anglesets = 8
+		cfg.Verify = true
+		if err := Run("fig3b", cfg); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("aggregated fig3b not deterministic:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if len(strings.Split(strings.TrimSpace(a), "\n")) < 4 {
+		t.Fatalf("suspiciously short output:\n%s", a)
+	}
+}

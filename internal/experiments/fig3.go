@@ -5,9 +5,11 @@ import (
 
 	"sweepsched/internal/heuristics"
 	"sweepsched/internal/par"
+	"sweepsched/internal/quadrature"
 	"sweepsched/internal/rng"
 	"sweepsched/internal/sched"
 	"sweepsched/internal/stats"
+	"sweepsched/internal/verify"
 )
 
 // runHeuristicRatios evaluates the named schedulers on one workload with a
@@ -36,6 +38,16 @@ func runHeuristicRatios(cfg Config, meshName string, blockSize int, ks []int, na
 			if err != nil {
 				return nil, err
 			}
+			// Aggregation (cfg.Anglesets > 0) amortizes the per-direction
+			// priority fill across octant anglesets; the partition is
+			// resolved once per row and every audited trial re-checks it.
+			var groups [][]int32
+			if cfg.Anglesets > 0 {
+				groups, err = quadrature.AnglesetsFor(inst.Dirs, cfg.Anglesets)
+				if err != nil {
+					return nil, err
+				}
+			}
 			// Each parallel row holds its own workspace and destination,
 			// reused across every (scheduler, trial) in the row.
 			ws := sched.GetWorkspace(inst)
@@ -44,16 +56,22 @@ func runHeuristicRatios(cfg Config, meshName string, blockSize int, ks []int, na
 			row := []interface{}{k, m}
 			for ni, name := range names {
 				name := name
-				_, ratio, err := meanMakespanRatio(cfg, inst, 0xf30+uint64(ni), func(r *rng.Source) (*sched.Schedule, error) {
-					assign, err := w.Assignment(blockSize, m, r)
-					if err != nil {
-						return nil, err
-					}
-					if err := heuristics.RunInto(ws, dst, name, inst, assign, r, 1); err != nil {
-						return nil, err
-					}
-					return dst, nil
-				})
+				_, ratio, err := meanMakespanRatioOpts(cfg, inst, 0xf30+uint64(ni), verify.Opts{Anglesets: groups},
+					func(r *rng.Source) (*sched.Schedule, error) {
+						assign, err := w.Assignment(blockSize, m, r)
+						if err != nil {
+							return nil, err
+						}
+						if groups != nil {
+							err = heuristics.RunAnglesetInto(ws, dst, name, inst, assign, groups, r, 1)
+						} else {
+							err = heuristics.RunInto(ws, dst, name, inst, assign, r, 1)
+						}
+						if err != nil {
+							return nil, err
+						}
+						return dst, nil
+					})
 				if err != nil {
 					return nil, err
 				}

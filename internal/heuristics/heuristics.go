@@ -20,6 +20,7 @@ package heuristics
 
 import (
 	"sweepsched/internal/core"
+	"sweepsched/internal/dag"
 	"sweepsched/internal/par"
 	"sweepsched/internal/rng"
 	"sweepsched/internal/sched"
@@ -74,21 +75,25 @@ func DescendantPrioritiesInto(prio sched.Priorities, inst *sched.Instance, worke
 	n := int32(inst.N())
 	exact := inst.N() <= ExactDescendantThreshold
 	_ = par.ForEach(inst.K(), workers, func(i int) error {
-		d := inst.DAGs[i]
-		base := int32(i) * n
-		if exact {
-			desc := d.DescendantsExact()
-			for v := int32(0); v < n; v++ {
-				prio[base+v] = -int64(desc[v])
-			}
-		} else {
-			desc := d.DescendantsApprox()
-			for v := int32(0); v < n; v++ {
-				prio[base+v] = -desc[v]
-			}
-		}
+		descendantFill(prio, int32(i)*n, inst.DAGs[i], n, exact)
 		return nil
 	})
+}
+
+// descendantFill writes one DAG's (negated) descendant counts into the
+// priority segment starting at base.
+func descendantFill(prio sched.Priorities, base int32, d *dag.DAG, n int32, exact bool) {
+	if exact {
+		desc := d.DescendantsExact()
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = -int64(desc[v])
+		}
+	} else {
+		desc := d.DescendantsApprox()
+		for v := int32(0); v < n; v++ {
+			prio[base+v] = -desc[v]
+		}
+	}
 }
 
 // DFDSPriorities returns Pautz's Depth-First Descendant-Seeking priorities
@@ -116,49 +121,53 @@ func DFDSPriorities(inst *sched.Instance, assign sched.Assignment, workers int) 
 func DFDSPrioritiesInto(prio sched.Priorities, inst *sched.Instance, assign sched.Assignment, workers int) {
 	n := int32(inst.N())
 	_ = par.ForEach(inst.K(), workers, func(i int) error {
-		d := inst.DAGs[i]
-		base := int32(i) * n
-		b := d.BLevels()
-		delta := int64(d.NumLevels) + 1
-		raw := make([]int64, n)
-		order := d.TopoOrder()
-		for idx := len(order) - 1; idx >= 0; idx-- {
-			v := order[idx]
-			var maxChildB int64 = -1
-			var maxChildPrio int64 = -1
-			offChild := false
-			offDesc := false
-			for _, w := range d.Out(v) {
-				if assign[w] != assign[v] {
-					offChild = true
-					if int64(b[w]) > maxChildB {
-						maxChildB = int64(b[w])
-					}
-				}
-				if raw[w] > 0 {
-					offDesc = true
-				}
-				if raw[w] > maxChildPrio {
-					maxChildPrio = raw[w]
-				}
-			}
-			switch {
-			case offChild:
-				raw[v] = maxChildB + delta
-			case offDesc:
-				raw[v] = maxChildPrio - 1
-				if raw[v] < 1 {
-					raw[v] = 1 // keep "has off-processor descendant" visible
-				}
-			default:
-				raw[v] = 0
-			}
-		}
-		for v := int32(0); v < n; v++ {
-			prio[base+v] = -raw[v]
-		}
+		dfdsFill(prio, int32(i)*n, inst.DAGs[i], assign, n)
 		return nil
 	})
+}
+
+// dfdsFill writes one DAG's (negated) DFDS priorities into the priority
+// segment starting at base.
+func dfdsFill(prio sched.Priorities, base int32, d *dag.DAG, assign sched.Assignment, n int32) {
+	b := d.BLevels()
+	delta := int64(d.NumLevels) + 1
+	raw := make([]int64, n)
+	order := d.TopoOrder()
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		v := order[idx]
+		var maxChildB int64 = -1
+		var maxChildPrio int64 = -1
+		offChild := false
+		offDesc := false
+		for _, w := range d.Out(v) {
+			if assign[w] != assign[v] {
+				offChild = true
+				if int64(b[w]) > maxChildB {
+					maxChildB = int64(b[w])
+				}
+			}
+			if raw[w] > 0 {
+				offDesc = true
+			}
+			if raw[w] > maxChildPrio {
+				maxChildPrio = raw[w]
+			}
+		}
+		switch {
+		case offChild:
+			raw[v] = maxChildB + delta
+		case offDesc:
+			raw[v] = maxChildPrio - 1
+			if raw[v] < 1 {
+				raw[v] = 1 // keep "has off-processor descendant" visible
+			}
+		default:
+			raw[v] = 0
+		}
+	}
+	for v := int32(0); v < n; v++ {
+		prio[base+v] = -raw[v]
+	}
 }
 
 // delayReleases converts per-direction random delays into task release

@@ -1,0 +1,98 @@
+package kba
+
+import (
+	"testing"
+
+	"sweepsched/internal/mesh"
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/verify"
+)
+
+// pipelineFixture: a regular hex grid with octant anglesets and the KBA
+// column tiling — the semi-structured setting SchedulePipelined models.
+func pipelineFixture(t *testing.T, nx, k, m int) (*sched.Instance, sched.Assignment, [][]int32) {
+	t.Helper()
+	msh := mesh.RegularHex(nx, nx, nx)
+	dirs, err := quadrature.Octant(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sched.NewInstance(msh, dirs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := ColumnAssignment(nx, nx, nx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := quadrature.AnglesetsByOctant(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, assign, groups
+}
+
+// TestSchedulePipelined: both orderings produce valid schedules that the
+// aggregated-schedule auditor accepts, and pipelining anglesets through
+// the tiling beats the worst case of draining them strictly one after
+// another (k directions × per-sweep ideal with no overlap).
+func TestSchedulePipelined(t *testing.T) {
+	nx, k, m := 6, 16, 4
+	inst, assign, groups := pipelineFixture(t, nx, k, m)
+	serial := k * int(IdealMakespan(nx, nx, nx, m, 1))
+	for _, ord := range []AnglesetOrdering{FIFO, DepthOfGraph} {
+		s, err := SchedulePipelined(inst, assign, groups, ord)
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		if err := verify.Schedule(inst, s, verify.Opts{Anglesets: groups}); err != nil {
+			t.Fatalf("%s: auditor rejects pipeline schedule: %v", ord, err)
+		}
+		if s.Makespan >= serial {
+			t.Fatalf("%s: makespan %d no better than fully serial anglesets %d", ord, s.Makespan, serial)
+		}
+	}
+}
+
+// TestSchedulePipelinedOrderings: on a uniform hex grid every octant's
+// representative has the same depth, so DepthOfGraph must coincide with
+// FIFO (the sort is stable); and the ordering names are stable strings
+// used in CLI flags and observability output.
+func TestSchedulePipelinedOrderings(t *testing.T) {
+	inst, assign, groups := pipelineFixture(t, 4, 8, 4)
+	a, err := SchedulePipelined(inst, assign, groups, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SchedulePipelined(inst, assign, groups, DepthOfGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("equal-depth anglesets: FIFO makespan %d != DepthOfGraph %d", a.Makespan, b.Makespan)
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] {
+			t.Fatalf("equal-depth anglesets diverge at task %d", i)
+		}
+	}
+	if FIFO.String() != "fifo" || DepthOfGraph.String() != "depth_of_graph" {
+		t.Fatalf("ordering names changed: %q, %q", FIFO, DepthOfGraph)
+	}
+	if got := AnglesetOrdering(9).String(); got != "AnglesetOrdering(9)" {
+		t.Fatalf("unknown ordering stringer: %q", got)
+	}
+}
+
+// TestSchedulePipelinedRejects: partition validation happens before any
+// scheduling work.
+func TestSchedulePipelinedRejects(t *testing.T) {
+	inst, assign, _ := pipelineFixture(t, 4, 8, 4)
+	if _, err := SchedulePipelined(inst, assign, [][]int32{{0, 1}}, FIFO); err == nil {
+		t.Fatal("partial partition accepted")
+	}
+}

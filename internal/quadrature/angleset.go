@@ -1,0 +1,118 @@
+package quadrature
+
+import (
+	"fmt"
+	"sort"
+
+	"sweepsched/internal/geom"
+)
+
+// Angleset partitioning: production sweep schedulers (chi-tech's
+// AngleAggregation, Adams et al.'s semi-structured sweeps) schedule
+// *groups* of directions as one unit, amortizing priority computation,
+// queue construction and message batches across the group. The natural
+// grouping is by sign octant: two directions whose components share
+// signs sweep the mesh in broadly the same order, and on meshes whose
+// face normals are axis-aligned (regular hex grids) they induce exactly
+// the same DAG.
+//
+// An angleset is represented as a strictly ascending slice of direction
+// indices; a partition is a slice of anglesets covering every direction
+// exactly once. Groups are ordered by their first member, so partitions
+// are canonical and deterministic.
+
+// GroupBySign partitions direction indices by the sign octant of
+// (μ, η, ξ): directions agree on an octant when each component has the
+// same sign (zero counts as positive, so 2-D sets with ξ = 0 still
+// group). At most 8 groups are returned, each with strictly ascending
+// members, ordered by first member.
+func GroupBySign(dirs []geom.Vec3) [][]int32 {
+	var buckets [8][]int32
+	for i, d := range dirs {
+		o := 0
+		if d.X < 0 {
+			o |= 4
+		}
+		if d.Y < 0 {
+			o |= 2
+		}
+		if d.Z < 0 {
+			o |= 1
+		}
+		buckets[o] = append(buckets[o], int32(i))
+	}
+	out := make([][]int32, 0, 8)
+	for o := range buckets {
+		if len(buckets[o]) > 0 {
+			out = append(out, buckets[o])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// AnglesetsByOctant partitions the Octant(k) direction set into its
+// sign-homogeneous octant anglesets: ≤ 8 groups covering directions
+// 0..k-1 exactly once. For k ≥ 8 multiples of 8 every octant
+// contributes k/8 directions (Octant interleaves octants round-robin);
+// degenerate k < 8 sets yield k singleton groups (each truncated octant
+// keeps one direction).
+func AnglesetsByOctant(k int) ([][]int32, error) {
+	dirs, err := Octant(k)
+	if err != nil {
+		return nil, err
+	}
+	return GroupBySign(dirs), nil
+}
+
+// SplitAnglesets deterministically refines a partition until it has at
+// least want groups (or every group is a singleton, whichever comes
+// first). Any subset of a sign-homogeneous group is sign-homogeneous,
+// so splitting never breaks the octant invariant. The largest group
+// splits first (ties: smallest first member), into its first and second
+// member halves; the result is re-canonicalized by first member. want
+// ≤ len(groups) returns the input unchanged.
+func SplitAnglesets(groups [][]int32, want int) [][]int32 {
+	if want <= len(groups) {
+		return groups
+	}
+	out := make([][]int32, len(groups))
+	copy(out, groups)
+	for len(out) < want {
+		// Pick the largest group; ties broken by smallest first member.
+		best := -1
+		for g := range out {
+			if len(out[g]) < 2 {
+				continue
+			}
+			if best < 0 || len(out[g]) > len(out[best]) ||
+				(len(out[g]) == len(out[best]) && out[g][0] < out[best][0]) {
+				best = g
+			}
+		}
+		if best < 0 {
+			break // all singletons
+		}
+		half := (len(out[best]) + 1) / 2
+		lo, hi := out[best][:half:half], out[best][half:]
+		out[best] = lo
+		out = append(out, hi)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// AnglesetsFor builds the angleset partition a scheduling run with the
+// Anglesets option uses: the sign-octant partition of dirs, refined by
+// SplitAnglesets when more groups are requested. want ≥ len(dirs)
+// yields all singleton groups — the aggregated kernels then reproduce
+// the per-direction schedules bit for bit.
+func AnglesetsFor(dirs []geom.Vec3, want int) ([][]int32, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("quadrature: no directions to aggregate")
+	}
+	if want < 1 {
+		return nil, fmt.Errorf("quadrature: need at least 1 angleset, got %d", want)
+	}
+	return SplitAnglesets(GroupBySign(dirs), want), nil
+}

@@ -1,0 +1,172 @@
+package quadrature
+
+import (
+	"testing"
+
+	"sweepsched/internal/geom"
+)
+
+func octantOf(d geom.Vec3) int {
+	o := 0
+	if d.X < 0 {
+		o |= 4
+	}
+	if d.Y < 0 {
+		o |= 2
+	}
+	if d.Z < 0 {
+		o |= 1
+	}
+	return o
+}
+
+// checkPartition asserts the angleset partition invariants: exact cover
+// of 0..k-1, strictly ascending members, groups ordered by first
+// member, and sign homogeneity in (μ, η, ξ).
+func checkPartition(t *testing.T, groups [][]int32, dirs []geom.Vec3) {
+	t.Helper()
+	k := len(dirs)
+	seen := make([]bool, k)
+	prevFirst := int32(-1)
+	for a, g := range groups {
+		if len(g) == 0 {
+			t.Fatalf("angleset %d empty", a)
+		}
+		if g[0] <= prevFirst {
+			t.Fatalf("angleset %d first member %d not after previous %d", a, g[0], prevFirst)
+		}
+		prevFirst = g[0]
+		oct := octantOf(dirs[g[0]])
+		prev := int32(-1)
+		for _, i := range g {
+			if i < 0 || int(i) >= k {
+				t.Fatalf("angleset %d: direction %d out of range (k=%d)", a, i, k)
+			}
+			if i <= prev {
+				t.Fatalf("angleset %d: members not ascending at %d", a, i)
+			}
+			prev = i
+			if seen[i] {
+				t.Fatalf("direction %d covered twice", i)
+			}
+			seen[i] = true
+			if got := octantOf(dirs[i]); got != oct {
+				t.Fatalf("angleset %d mixes octants %d and %d (direction %d = %+v)", a, oct, got, i, dirs[i])
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("direction %d not covered", i)
+		}
+	}
+}
+
+// TestAnglesetsByOctant is the partition property test: every Octant(k)
+// direction lands in exactly one sign-homogeneous angleset, with at
+// most 8 anglesets, and degenerate k<8 sets produce k valid singleton
+// groups.
+func TestAnglesetsByOctant(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 7, 8, 9, 16, 24, 48, 80} {
+		groups, err := AnglesetsByOctant(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		dirs, err := Octant(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		checkPartition(t, groups, dirs)
+		if len(groups) > 8 {
+			t.Fatalf("k=%d: %d anglesets, want <= 8", k, len(groups))
+		}
+		if k < 8 {
+			if len(groups) != k {
+				t.Fatalf("k=%d: %d anglesets, want %d singletons", k, len(groups), k)
+			}
+			for a, g := range groups {
+				if len(g) != 1 {
+					t.Fatalf("k=%d: angleset %d has %d members, want singleton", k, a, len(g))
+				}
+			}
+		}
+		if k >= 8 && k%8 == 0 {
+			for a, g := range groups {
+				if len(g) != k/8 {
+					t.Fatalf("k=%d: octant %d holds %d directions, want %d", k, a, len(g), k/8)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupBySignZeroComponent: zero components count as positive, so
+// 2-D sets (ξ = 0 exactly) still partition into 4 xy-sign groups.
+func TestGroupBySignZeroComponent(t *testing.T) {
+	dirs, err := Axes2D(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupBySign(dirs)
+	checkPartition(t, groups, dirs)
+	if len(groups) > 4 {
+		t.Fatalf("2-D set split into %d groups, want <= 4", len(groups))
+	}
+}
+
+// TestSplitAnglesets: refinement reaches the requested count (capped at
+// all-singletons), preserves every partition invariant, and leaves
+// already-fine partitions untouched.
+func TestSplitAnglesets(t *testing.T) {
+	dirs, err := Octant(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := GroupBySign(dirs)
+	for want := 1; want <= 30; want++ {
+		got := SplitAnglesets(base, want)
+		checkPartition(t, got, dirs)
+		expect := want
+		if expect < len(base) {
+			expect = len(base)
+		}
+		if expect > 24 {
+			expect = 24
+		}
+		if len(got) != expect {
+			t.Fatalf("want=%d: got %d anglesets, expected %d", want, len(got), expect)
+		}
+	}
+	if got := SplitAnglesets(base, 3); &got[0][0] != &base[0][0] {
+		t.Fatal("want <= len(groups) should return the input unchanged")
+	}
+}
+
+func TestAnglesetsFor(t *testing.T) {
+	dirs, err := Octant(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := AnglesetsFor(dirs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, groups, dirs)
+	if len(groups) != 12 {
+		t.Fatalf("got %d anglesets, want 12", len(groups))
+	}
+	if _, err := AnglesetsFor(dirs, 0); err == nil {
+		t.Fatal("want >= 1 not enforced")
+	}
+	if _, err := AnglesetsFor(nil, 4); err == nil {
+		t.Fatal("empty direction set not rejected")
+	}
+	// Requesting more groups than directions caps at all singletons.
+	groups, err = AnglesetsFor(dirs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 16 {
+		t.Fatalf("got %d anglesets, want 16 singletons", len(groups))
+	}
+}

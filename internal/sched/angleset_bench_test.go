@@ -1,0 +1,80 @@
+package sched_test
+
+import (
+	"testing"
+
+	"sweepsched/internal/quadrature"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+)
+
+// anglesetBenchWorkload is kernelBenchWorkload's aggregated form: the
+// same instance shape (nx=8 Kuhn box, k=24, m=32), octant anglesets,
+// and level+delay priorities drawn once per angleset instead of once
+// per direction.
+func anglesetBenchWorkload(b *testing.B) (*sched.Instance, []sched.Assignment, [][]int32, sched.Priorities, []int32) {
+	b.Helper()
+	inst := meshInstance(b, 8, 24, 32, 1)
+	groups, err := quadrature.AnglesetsByOctant(inst.K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	n := int32(inst.N())
+	aggPrio := make(sched.Priorities, inst.N()*len(groups))
+	aggRel := make([]int32, len(groups))
+	for a, g := range groups {
+		d := inst.DAGs[g[0]]
+		base := int32(a) * n
+		delay := int32(r.Intn(len(groups)))
+		for v := int32(0); v < n; v++ {
+			aggPrio[base+v] = int64(d.Level[v] + delay)
+		}
+		aggRel[a] = delay
+	}
+	assigns := make([]sched.Assignment, 8)
+	for i := range assigns {
+		assigns[i] = sched.RandomAssignment(inst.N(), inst.M, r)
+	}
+	return inst, assigns, groups, aggPrio, aggRel
+}
+
+// BenchmarkAnglesetKernel compares the per-direction list kernel on
+// expanded inputs ("perdir") with the aggregated kernel on the compact
+// per-angleset inputs ("angleset") — identical output, 24 directions
+// driven by 8 anglesets' worth of priority data. Allocs/op must be 0
+// for both on the warm workspace.
+func BenchmarkAnglesetKernel(b *testing.B) {
+	inst, assigns, groups, aggPrio, aggRel := anglesetBenchWorkload(b)
+	n := inst.N()
+	prio := make(sched.Priorities, inst.NTasks())
+	if err := sched.ExpandAnglesetPrio(prio, aggPrio, groups, n); err != nil {
+		b.Fatal(err)
+	}
+	rel := make([]int32, inst.NTasks())
+	if err := sched.ExpandAnglesetRelease(rel, aggRel, groups, n); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("perdir", func(b *testing.B) {
+		ws := sched.NewWorkspace()
+		dst := &sched.Schedule{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sched.ListScheduleInto(ws, dst, inst, assigns[i%len(assigns)], prio, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("angleset", func(b *testing.B) {
+		ws := sched.NewWorkspace()
+		dst := &sched.Schedule{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sched.ListScheduleAnglesetInto(ws, dst, inst, assigns[i%len(assigns)], groups, aggPrio, aggRel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package sched_test
+
+import (
+	"testing"
+
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+)
+
+// bucketsFromBytes derives a canonical valid angleset partition from
+// arbitrary bytes: direction i lands in bucket raw[i mod len] mod k.
+func bucketsFromBytes(raw []byte, k int) [][]int32 {
+	of := make([]int, k)
+	for i := range of {
+		if len(raw) > 0 {
+			of[i] = int(raw[i%len(raw)]) % k
+		}
+	}
+	buckets := make([][]int32, k)
+	for i := 0; i < k; i++ {
+		buckets[of[i]] = append(buckets[of[i]], int32(i))
+	}
+	var groups [][]int32
+	seen := make([]bool, k)
+	for i := 0; i < k; i++ {
+		if a := of[i]; !seen[a] {
+			seen[a] = true
+			groups = append(groups, buckets[a])
+		}
+	}
+	return groups
+}
+
+// checkAnglesetAgainstExpansion: the aggregated kernel must accept the
+// partition exactly when ValidateAnglesets does, and on acceptance its
+// output must be bitwise-identical to the per-direction kernel run on
+// the expanded priority/release vectors.
+func checkAnglesetAgainstExpansion(t *testing.T, ws *sched.Workspace, inst *sched.Instance,
+	assign sched.Assignment, groups [][]int32, aggPrio sched.Priorities, aggRel []int32) {
+	t.Helper()
+	n, k := inst.N(), inst.K()
+	vErr := sched.ValidateAnglesets(groups, k)
+	var got sched.Schedule
+	err := sched.ListScheduleAnglesetInto(ws, &got, inst, assign, groups, aggPrio, aggRel)
+	if (err == nil) != (vErr == nil) {
+		t.Fatalf("kernel error %v but ValidateAnglesets %v", err, vErr)
+	}
+	if vErr != nil {
+		return
+	}
+	prio := make(sched.Priorities, inst.NTasks())
+	if aggPrio == nil {
+		aggPrio = make(sched.Priorities, n*len(groups))
+	}
+	if err := sched.ExpandAnglesetPrio(prio, aggPrio, groups, n); err != nil {
+		t.Fatalf("expansion rejects a validated partition: %v", err)
+	}
+	var rel []int32
+	if aggRel != nil {
+		rel = make([]int32, inst.NTasks())
+		if err := sched.ExpandAnglesetRelease(rel, aggRel, groups, n); err != nil {
+			t.Fatalf("release expansion rejects a validated partition: %v", err)
+		}
+	}
+	var want sched.Schedule
+	if err := sched.ListScheduleInto(ws, &want, inst, assign, prio, rel); err != nil {
+		t.Fatalf("per-direction kernel rejects expanded inputs: %v", err)
+	}
+	compareStarts(t, 0, "fuzz", &got, &want)
+}
+
+// FuzzAnglesetExpand fuzzes the angleset expansion contract: arbitrary
+// byte-derived partitions (including negative members, duplicates,
+// gaps, empty groups and descending runs) must be accepted by the
+// aggregated kernel exactly when ValidateAnglesets accepts them, and
+// every accepted partition must schedule bitwise-identically to the
+// per-direction kernel on the expanded inputs.
+func FuzzAnglesetExpand(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint8(2), uint64(1), []byte{0, 1, 0, 1})
+	f.Add(uint8(12), uint8(6), uint8(3), uint64(7), []byte{0, 0, 255, 1, 9})
+	f.Add(uint8(5), uint8(3), uint8(1), uint64(42), []byte{2, 1, 0})
+	f.Add(uint8(16), uint8(8), uint8(4), uint64(99), []byte{255, 255, 3})
+
+	f.Fuzz(func(t *testing.T, nb, kb, mb uint8, seed uint64, raw []byte) {
+		n := 1 + int(nb%12)
+		k := 1 + int(kb%8)
+		m := 1 + int(mb%4)
+		inst := syntheticInstance(t, n, k, m, seed|1)
+		r := rng.New(seed)
+		assign := sched.RandomAssignment(n, m, r)
+		ws := sched.GetWorkspace(inst)
+		defer ws.Release()
+
+		// Arbitrary, possibly invalid partition: 0xFF opens a new group,
+		// any other byte contributes a member in [-1, k].
+		groups := [][]int32{nil}
+		for _, b := range raw {
+			if b == 0xFF {
+				groups = append(groups, nil)
+				continue
+			}
+			last := len(groups) - 1
+			groups[last] = append(groups[last], int32(int(b)%(k+2))-1)
+		}
+		aggPrio := make(sched.Priorities, n*len(groups))
+		for i := range aggPrio {
+			aggPrio[i] = int64(r.Intn(20))
+		}
+		checkAnglesetAgainstExpansion(t, ws, inst, assign, groups, aggPrio, nil)
+
+		// Canonical valid partition from the same bytes: must be accepted
+		// and must match, with releases in play.
+		valid := bucketsFromBytes(raw, k)
+		if err := sched.ValidateAnglesets(valid, k); err != nil {
+			t.Fatalf("canonical partition invalid: %v", err)
+		}
+		aggPrio = make(sched.Priorities, n*len(valid))
+		for i := range aggPrio {
+			aggPrio[i] = int64(r.Intn(20))
+		}
+		aggRel := make([]int32, len(valid))
+		for i := range aggRel {
+			aggRel[i] = int32(r.Intn(5))
+		}
+		checkAnglesetAgainstExpansion(t, ws, inst, assign, valid, aggPrio, aggRel)
+	})
+}

@@ -158,6 +158,13 @@ type rankq struct {
 	words    []uint64 // concatenated per-processor bitmaps
 	minWord  []int32  // per-processor scan hint (lowest possibly-set word)
 	count    []int32  // per-processor ready count
+
+	// Angleset expansion scratch (buildAngleset, angleset.go): segment
+	// table of one equal-priority run plus the group→segment stamp map.
+	segA     []int32 // segment -> angleset
+	segLo    []int32 // segment -> start in sorted keys (+ end sentinel)
+	segOf    []int32 // angleset -> segment index, valid when stamped
+	segStamp []int32 // angleset -> run id that last stamped segOf
 }
 
 // build sorts the nt tasks by (prio, TaskID) and partitions the sorted

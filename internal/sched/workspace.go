@@ -35,6 +35,9 @@ type Workspace struct {
 	// building priorities and release times without per-trial allocation.
 	prioBuf  Priorities
 	int32Buf []int32
+	// dirGroup maps direction -> angleset for the aggregated kernels
+	// (filled and validated by fillDirGroup per run).
+	dirGroup []int32
 
 	// col receives the kernels' stage timers and run/step counters
 	// (SetObserver). nil disables collection; the nil-safe obs calls cost

@@ -24,6 +24,10 @@ func FuzzScheduleRequest(f *testing.F) {
 		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16} {"second":"doc"}`,
 		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16,"bogus":true}`,
 		`{"mesh":{"family":"tetonly","scale":"NaN"},"directions":8,"procs":16}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":16,"procs":8,"scheduler":"level","anglesets":8}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":16,"procs":8,"anglesets":-3}`,
+		`{"mesh":{"synthetic":"random_chains","n":50},"directions":4,"procs":8,"anglesets":4}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":4,"scheduler":"improved_delays","anglesets":8}`,
 		strings.Repeat(`[`, 1000),
 	}
 	for _, s := range seeds {

@@ -465,6 +465,7 @@ func (s *Server) buildSchedule(ctx context.Context, req *ScheduleRequest, meshKe
 		Verify:      s.cfg.Verify,
 		VerifyEvery: s.cfg.VerifyEvery,
 		Collector:   reqCol,
+		Anglesets:   req.Anglesets,
 	}
 	span := s.col.Span("service.build.schedule.time")
 	defer span.End()

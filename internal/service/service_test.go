@@ -719,3 +719,55 @@ func TestEvictionKeepsServing(t *testing.T) {
 }
 
 var _ = fmt.Sprintf // keep fmt for debugging edits
+
+// TestScheduleAnglesets: an aggregated request succeeds with the audit
+// on, the anglesets value is part of the schedule cache key (same spec
+// hits, different anglesets misses while reusing the DAG family), and
+// invalid aggregation requests classify as 400.
+func TestScheduleAnglesets(t *testing.T) {
+	cfg := testConfig()
+	cfg.Verify = true
+	srv, ts := newTestServer(t, cfg)
+
+	spec := baseSpec()
+	spec["anglesets"] = 8
+	status, cold, msg := postSchedule(t, ts, spec)
+	if status != 200 {
+		t.Fatalf("aggregated request status = %d: %s", status, msg)
+	}
+	status, warm, _ := postSchedule(t, ts, spec)
+	if status != 200 || warm.Cache.Schedule != "hit" {
+		t.Fatalf("identical aggregated request missed: status %d, trace %+v", status, warm.Cache)
+	}
+	if warm.Makespan != cold.Makespan {
+		t.Fatalf("warm makespan %d != cold %d", warm.Makespan, cold.Makespan)
+	}
+
+	builds := counterValue(srv, "service.build.dag_family")
+	spec["anglesets"] = 4
+	status, other, _ := postSchedule(t, ts, spec)
+	if status != 200 {
+		t.Fatalf("anglesets=4 status = %d", status)
+	}
+	if other.Cache.Schedule != "miss" {
+		t.Fatalf("different anglesets shared a schedule entry: %+v", other.Cache)
+	}
+	if got := counterValue(srv, "service.build.dag_family"); got != builds {
+		t.Fatalf("changing anglesets rebuilt the DAG family (%d -> %d)", builds, got)
+	}
+
+	for name, bad := range map[string]map[string]any{
+		"negative":    {"anglesets": -1},
+		"synthetic":   {"mesh": map[string]any{"synthetic": "random_chains", "n": 50}, "anglesets": 4},
+		"layer-sync":  {"scheduler": "improved_delays", "anglesets": 8},
+		"over-k-ceil": {"anglesets": 100000},
+	} {
+		spec := baseSpec()
+		for k, v := range bad {
+			spec[k] = v
+		}
+		if status, _, msg := postSchedule(t, ts, spec); status != 400 {
+			t.Fatalf("%s: status = %d (%s), want 400", name, status, msg)
+		}
+	}
+}

@@ -113,6 +113,13 @@ type ScheduleRequest struct {
 	// CommDelay > 0 schedules under the §3 uniform communication-delay
 	// model (rejected for random_delays, which is layer-synchronous).
 	CommDelay int `json:"comm_delay,omitempty"`
+	// Anglesets > 0 aggregates the per-direction pipeline into about
+	// this many octant anglesets (priorities once per angleset on
+	// representative DAGs; see ScheduleOptions.Anglesets). Requires a
+	// geometric mesh and an aggregation-capable scheduler; 0 keeps the
+	// per-direction pipeline. Aggregation changes tie-breaking, so the
+	// value is part of the schedule cache key.
+	Anglesets int `json:"anglesets,omitempty"`
 
 	// Workers bounds the per-direction pipeline parallelism of this
 	// request (0 = server default). Output is bit-identical for every
@@ -274,6 +281,19 @@ func (req *ScheduleRequest) Validate() error {
 	if req.Workers < 0 {
 		return badRequest("workers must be >= 0, got %d", req.Workers)
 	}
+	if req.Anglesets < 0 || req.Anglesets > MaxDirections {
+		return badRequest("anglesets must be in [0, %d], got %d", MaxDirections, req.Anglesets)
+	}
+	if req.Anglesets > 0 {
+		if req.Mesh.Synthetic != "" {
+			return badRequest("angleset aggregation requires a geometric mesh; synthetic families are non-geometric (use anglesets = 0)")
+		}
+		switch req.Scheduler {
+		case string(sweepsched.RandomDelays), string(sweepsched.ImprovedDelays):
+			return badRequest("%s is layer-synchronous and cannot run angleset-aggregated; use %s",
+				req.Scheduler, sweepsched.RandomDelaysPriority)
+		}
+	}
 	if req.Mesh.Synthetic != "" {
 		// Synthetic cell counts are known without building; family/inline
 		// meshes are re-checked against MaxTasks after realization.
@@ -343,6 +363,6 @@ func (req *ScheduleRequest) familyKey(meshKey string) string {
 // output is bit-identical for every worker count (DESIGN.md §7) — as
 // are the response-shaping flags.
 func (req *ScheduleRequest) scheduleKey(familyKey string) string {
-	return fmt.Sprintf("%s|alg:%s|block:%d|seed:%d|c:%d",
-		familyKey, req.Scheduler, req.BlockSize, req.Seed, req.CommDelay)
+	return fmt.Sprintf("%s|alg:%s|block:%d|seed:%d|c:%d|as:%d",
+		familyKey, req.Scheduler, req.BlockSize, req.Seed, req.CommDelay, req.Anglesets)
 }

@@ -68,6 +68,86 @@ func DifferentialComm(inst *sched.Instance, assign sched.Assignment, prio sched.
 	return diffStarts("comm", got, want)
 }
 
+// DifferentialAngleset checks the angleset-aggregated list kernel
+// against the per-direction reference: the aggregate priority/release
+// vectors are expanded to their per-direction form (the aggregated
+// kernel's documented semantics) and replayed through the frozen
+// reference scheduler. Expansion errors must be mirrored by a kernel
+// rejection of the same inputs.
+func DifferentialAngleset(inst *sched.Instance, assign sched.Assignment, groups [][]int32, aggPrio sched.Priorities, aggRel []int32) error {
+	ws := sched.GetWorkspace(inst)
+	defer ws.Release()
+	got := &sched.Schedule{}
+	err := sched.ListScheduleAnglesetInto(ws, got, inst, assign, groups, aggPrio, aggRel)
+
+	prio, rel, expErr := expandAngleset(inst, groups, aggPrio, aggRel)
+	if expErr != nil {
+		if err == nil {
+			return fmt.Errorf("verify: angleset kernel accepted inputs the expansion rejects: %v", expErr)
+		}
+		return nil
+	}
+	want, refErr := refimpl.ListScheduleWithRelease(inst, assign, prio, rel)
+	if (err == nil) != (refErr == nil) {
+		return fmt.Errorf("verify: angleset kernel error mismatch: kernel %v, reference %v", err, refErr)
+	}
+	if err != nil {
+		return nil
+	}
+	return diffStarts("angleset", got, want)
+}
+
+// DifferentialAnglesetComm is DifferentialAngleset for the aggregated
+// communication-delay kernel.
+func DifferentialAnglesetComm(inst *sched.Instance, assign sched.Assignment, groups [][]int32, aggPrio sched.Priorities, commDelay int) error {
+	ws := sched.GetWorkspace(inst)
+	defer ws.Release()
+	got := &sched.Schedule{}
+	err := sched.CommScheduleAnglesetInto(ws, got, inst, assign, groups, aggPrio, commDelay)
+
+	prio, _, expErr := expandAngleset(inst, groups, aggPrio, nil)
+	if expErr != nil {
+		if err == nil {
+			return fmt.Errorf("verify: angleset comm kernel accepted inputs the expansion rejects: %v", expErr)
+		}
+		return nil
+	}
+	want, refErr := refimpl.ListScheduleComm(inst, assign, prio, commDelay)
+	if (err == nil) != (refErr == nil) {
+		return fmt.Errorf("verify: angleset comm kernel error mismatch: kernel %v, reference %v", err, refErr)
+	}
+	if err != nil {
+		return nil
+	}
+	return diffStarts("angleset comm", got, want)
+}
+
+// expandAngleset materializes the per-direction priority and release
+// vectors an aggregated input pair denotes. A nil aggPrio expands to
+// all-zero priorities (the kernels' convention); a nil aggRel stays
+// nil.
+func expandAngleset(inst *sched.Instance, groups [][]int32, aggPrio sched.Priorities, aggRel []int32) (sched.Priorities, []int32, error) {
+	n := inst.N()
+	if err := sched.ValidateAnglesets(groups, inst.K()); err != nil {
+		return nil, nil, err
+	}
+	if aggPrio == nil {
+		aggPrio = make(sched.Priorities, n*len(groups))
+	}
+	prio := make(sched.Priorities, inst.NTasks())
+	if err := sched.ExpandAnglesetPrio(prio, aggPrio, groups, n); err != nil {
+		return nil, nil, err
+	}
+	var rel []int32
+	if aggRel != nil {
+		rel = make([]int32, inst.NTasks())
+		if err := sched.ExpandAnglesetRelease(rel, aggRel, groups, n); err != nil {
+			return nil, nil, err
+		}
+	}
+	return prio, rel, nil
+}
+
 // DifferentialGreedy compares sched.GreedyScheduleInto against the
 // reference Graham scheduler on levels and makespan.
 func DifferentialGreedy(inst *sched.Instance, prio sched.Priorities) error {

@@ -18,6 +18,7 @@ import (
 	"os"
 	"sync"
 
+	dagrefimpl "sweepsched/internal/dag/refimpl"
 	"sweepsched/internal/sched"
 )
 
@@ -43,6 +44,20 @@ type Opts struct {
 	// recomputation: Makespan against max start + 1, C1 against C1Ref,
 	// C2 against C2Ref.
 	Metrics *sched.Metrics
+	// Anglesets, when non-nil, asserts the schedule was produced by
+	// angleset aggregation over this direction partition: the partition
+	// itself is re-validated, and when the instance carries its mesh and
+	// direction set, every member direction's precedence is additionally
+	// checked against an independently rebuilt DAG (the frozen
+	// internal/dag/refimpl builder) — catching aggregation that shared a
+	// representative DAG across directions it does not actually serve
+	// (a wrong-octant placement survives the inst.DAGs precedence check,
+	// because the corrupted family *is* inst.DAGs, but not this one).
+	Anglesets [][]int32
+	// AnglesetRelease, when non-nil (requires Anglesets), holds one
+	// release delay per angleset and asserts every task of a member
+	// direction starts no earlier than its angleset's delay.
+	AnglesetRelease []int32
 }
 
 // Schedule audits a complete schedule against the §3 feasibility
@@ -170,6 +185,96 @@ func Tasks(inst *sched.Instance, proc []int32, start []int32, opts Opts) error {
 			return fmt.Errorf("verify: processor %d runs tasks %d and %d at step %d", key.p, prev, t, key.step)
 		}
 		seen[key] = t
+	}
+	if opts.AnglesetRelease != nil && opts.Anglesets == nil {
+		return fmt.Errorf("verify: AnglesetRelease given without Anglesets")
+	}
+	if opts.Anglesets != nil {
+		if err := anglesetAudit(inst, proc, start, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// anglesetAudit is the aggregated-schedule audit: an independent
+// re-validation of the angleset partition, the per-angleset release
+// floors expanded to member directions, and — when the instance is
+// geometric — per-direction precedence against DAGs rebuilt from the
+// mesh with the frozen reference builder. The last check is the one
+// the in-family precedence audit cannot perform: if the schedule's own
+// DAG family was built with an unsound representative (one octant's
+// DAG standing in for a direction it does not serve), inst.DAGs agrees
+// with the schedule by construction, and only an independent rebuild
+// exposes the violated true dependence.
+func anglesetAudit(inst *sched.Instance, proc, start []int32, opts Opts) error {
+	groups := opts.Anglesets
+	k := inst.K()
+	n := int32(inst.N())
+	dirGroup := make([]int32, k)
+	for i := range dirGroup {
+		dirGroup[i] = -1
+	}
+	for a, g := range groups {
+		if len(g) == 0 {
+			return fmt.Errorf("verify: angleset %d is empty", a)
+		}
+		prev := int32(-1)
+		for _, i := range g {
+			if i < 0 || int(i) >= k {
+				return fmt.Errorf("verify: angleset %d contains direction %d (k=%d)", a, i, k)
+			}
+			if i <= prev {
+				return fmt.Errorf("verify: angleset %d members not strictly ascending at direction %d", a, i)
+			}
+			if dirGroup[i] != -1 {
+				return fmt.Errorf("verify: direction %d in more than one angleset", i)
+			}
+			dirGroup[i] = int32(a)
+			prev = i
+		}
+	}
+	for i, a := range dirGroup {
+		if a == -1 {
+			return fmt.Errorf("verify: direction %d not covered by any angleset", i)
+		}
+	}
+	if opts.AnglesetRelease != nil {
+		if len(opts.AnglesetRelease) != len(groups) {
+			return fmt.Errorf("verify: %d angleset release delays for %d anglesets", len(opts.AnglesetRelease), len(groups))
+		}
+		for i := 0; i < k; i++ {
+			rel := opts.AnglesetRelease[dirGroup[i]]
+			base := int32(i) * n
+			for v := int32(0); v < n; v++ {
+				if start[base+v] < rel {
+					return fmt.Errorf("verify: task %d (dir %d) starts at %d before its angleset's release %d",
+						base+v, i, start[base+v], rel)
+				}
+			}
+		}
+	}
+	if inst.Mesh == nil || len(inst.Dirs) != k {
+		return nil // non-geometric instance: no independent DAGs to rebuild
+	}
+	cd := int32(opts.CommDelay)
+	for i := 0; i < k; i++ {
+		d := dagrefimpl.Build(inst.Mesh, inst.Dirs[i])
+		base := int32(i) * n
+		for u := int32(0); u < n; u++ {
+			ut := base + u
+			for _, w := range d.Out(u) {
+				wt := base + w
+				gap := int32(1)
+				if cd > 0 && proc[ut] != proc[wt] {
+					gap += cd
+				}
+				if start[wt] < start[ut]+gap {
+					return fmt.Errorf("verify: aggregated schedule violates direction %d's true DAG: cell %d@%d -> cell %d@%d needs gap %d (representative DAG does not serve this direction?)",
+						i, u, start[ut], w, start[wt], gap)
+				}
+			}
+		}
 	}
 	return nil
 }
