@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience procfault fuzz bench bench-dag bench-angleset bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
+.PHONY: check ci race resilience procfault fuzz bench bench-dag bench-angleset bench-weighted bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzScheduleRequest$$' -fuzztime 10s ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzTransportRequest$$' -fuzztime 10s ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzAnglesetExpand$$' -fuzztime 10s ./internal/sched
+	$(GO) test -run '^$$' -fuzz '^FuzzWeightedEquivalence$$' -fuzztime 10s ./internal/sched
 
 ci:
 	./ci.sh
@@ -85,6 +86,13 @@ bench-dag:
 # compact inputs with its 0 allocs/op contract.
 bench-angleset:
 	$(GO) test -run '^$$' -bench 'BenchmarkAngleset' -benchmem -benchtime 2s -count 5 ./internal/sched ./internal/heuristics
+
+# The weighted-engine benchmarks (PR 9): the warm event-driven weighted
+# kernel on the uniform machine vs heterogeneous speeds + hierarchical
+# delays, with its 0 allocs/op contract. Recorded numbers live in
+# BENCH_PR9.json.
+bench-weighted:
+	$(GO) test -run '^$$' -bench 'BenchmarkWeightedKernel' -benchmem -benchtime 2s -count 5 ./internal/sched
 
 # Reproduce the numbers recorded in BENCH_PR1.json, BENCH_PR3.json and
 # BENCH_PR5.json.

@@ -499,18 +499,37 @@ func (r *Result) Utilization() float64 {
 // CellWeights re-exports per-cell processing costs for weighted runs.
 type CellWeights = sched.CellWeights
 
+// MachineModel re-exports the weighted engine's machine description:
+// per-processor speeds and two-level hierarchical communication delays.
+// A nil model is the paper's uniform machine.
+type MachineModel = sched.MachineModel
+
 // WeightedResult is a completed weighted scheduling run.
 type WeightedResult struct {
 	Schedule *sched.WeightedSchedule
 	Makespan int64
-	// Ratio is makespan over the weighted load bound Σ k·w / m.
+	// Ratio is makespan over the speed-aware load bound Σ k·w / Σ speed —
+	// the weighted analogue of the paper's plotted nk/m baseline.
 	Ratio float64
+	// Bounds carries every weighted lower-bound term (load, per-cell,
+	// critical path); StrongRatio is makespan over Bounds.Max(), the
+	// tightest empirical approximation factor.
+	Bounds      lb.WeightedBounds
+	StrongRatio float64
 }
 
 // ScheduleWeighted runs the named scheduler with per-cell processing costs
-// (the paper's model is the all-ones special case). RandomDelays (the
-// layer-synchronous Algorithm 1) is not supported; use the priority form.
+// on the uniform machine (the paper's model is the all-ones special case).
+// RandomDelays (the layer-synchronous Algorithm 1) is not supported; use
+// the priority form.
 func (p *Problem) ScheduleWeighted(alg Scheduler, opts ScheduleOptions, weights CellWeights) (*WeightedResult, error) {
+	return p.ScheduleWeightedMachine(alg, opts, weights, nil)
+}
+
+// ScheduleWeightedMachine is ScheduleWeighted under a machine model:
+// per-processor integer speeds (duration = ceil(w/speed)) and two-level
+// hierarchical communication delays. A nil model is the uniform machine.
+func (p *Problem) ScheduleWeightedMachine(alg Scheduler, opts ScheduleOptions, weights CellWeights, model *MachineModel) (*WeightedResult, error) {
 	if alg == RandomDelays {
 		return nil, fmt.Errorf("sweepsched: %s is layer-synchronous and has no weighted form; use %s",
 			RandomDelays, RandomDelaysPriority)
@@ -519,6 +538,9 @@ func (p *Problem) ScheduleWeighted(alg Scheduler, opts ScheduleOptions, weights 
 		return nil, fmt.Errorf("sweepsched: the weighted scheduler has no angleset-aggregated form")
 	}
 	if err := weights.Validate(p.inst.N()); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(p.inst.M); err != nil {
 		return nil, err
 	}
 	r := rng.New(opts.Seed)
@@ -544,17 +566,28 @@ func (p *Problem) ScheduleWeighted(alg Scheduler, opts ScheduleOptions, weights 
 	if err != nil {
 		return nil, err
 	}
-	s, err := sched.ListScheduleWeighted(p.inst, assign, prio, weights)
+	s, err := sched.ListScheduleMachine(p.inst, assign, prio, weights, model)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("sweepsched: invalid weighted schedule: %w", err)
 	}
+	if p.shouldVerify(opts) {
+		if err := verify.Weighted(p.inst, s); err != nil {
+			return nil, fmt.Errorf("sweepsched: weighted schedule failed the audit: %w", err)
+		}
+		opts.Collector.Counter("api.verified").Inc()
+	} else if opts.verifyOn() {
+		opts.Collector.Counter("api.verify_skipped").Inc()
+	}
+	bounds := lb.ComputeWeighted(p.inst, weights, model)
 	return &WeightedResult{
-		Schedule: s,
-		Makespan: s.Makespan,
-		Ratio:    float64(s.Makespan) / sched.WeightedLoadBound(p.inst, weights),
+		Schedule:    s,
+		Makespan:    s.Makespan,
+		Ratio:       float64(s.Makespan) / bounds.Load,
+		Bounds:      bounds,
+		StrongRatio: lb.WeightedRatio(s.Makespan, bounds),
 	}, nil
 }
 

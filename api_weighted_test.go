@@ -95,3 +95,58 @@ func TestScheduleWeightedUnitMatchesUnweightedMakespan(t *testing.T) {
 			weighted.Makespan, unit.Metrics.Makespan)
 	}
 }
+
+// TestScheduleWeightedMachineFacade covers the heterogeneous facade:
+// model validation at the API boundary, working Verify/VerifyEvery
+// sampling (ScheduleWeighted used to silently ignore both), and the
+// weighted bound terms in the result.
+func TestScheduleWeightedMachineFacade(t *testing.T) {
+	p, err := NewProblemFromFamily("tetonly", 0.01, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := LogNormalWeights(p.N(), 4, 0.75, 5)
+	model := &MachineModel{Speeds: []int32{1, 2, 1, 4}, Group: []int32{0, 0, 1, 1}, IntraDelay: 1, CrossDelay: 3}
+
+	col := NewStatsCollector()
+	opts := ScheduleOptions{Seed: 2, Verify: true, VerifyEvery: 3, Collector: col}
+	for i := 0; i < 6; i++ {
+		res, err := p.ScheduleWeightedMachine(RandomDelaysPriority, opts, weights, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < res.Bounds.Max() {
+			t.Fatalf("makespan %d below weighted bound %d", res.Makespan, res.Bounds.Max())
+		}
+		if res.StrongRatio < 1 || res.Ratio < res.StrongRatio {
+			t.Fatalf("implausible ratios: load %v, strong %v", res.Ratio, res.StrongRatio)
+		}
+	}
+	verified := col.Counter("api.verified").Value()
+	skipped := col.Counter("api.verify_skipped").Value()
+	if verified != 2 || skipped != 4 {
+		t.Fatalf("every=3 over 6 weighted runs: verified=%d skipped=%d, want 2 and 4", verified, skipped)
+	}
+
+	// A model that does not fit the machine is rejected up front.
+	if _, err := p.ScheduleWeightedMachine(Level, ScheduleOptions{}, weights, &MachineModel{Speeds: []int32{1}}); err == nil {
+		t.Fatal("short speeds vector accepted")
+	}
+	if _, err := p.ScheduleWeightedMachine(Level, ScheduleOptions{}, weights,
+		&MachineModel{IntraDelay: 5, CrossDelay: 1}); err == nil {
+		t.Fatal("intra > cross delay accepted")
+	}
+
+	// The nil model is exactly ScheduleWeighted.
+	a, err := p.ScheduleWeightedMachine(Level, ScheduleOptions{Seed: 7}, weights, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ScheduleWeighted(Level, ScheduleOptions{Seed: 7}, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("nil model makespan %d != ScheduleWeighted %d", a.Makespan, b.Makespan)
+	}
+}

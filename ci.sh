@@ -66,6 +66,16 @@ echo "== angleset smoke: aggregated pipeline end to end under -race, every run a
 go run -race ./cmd/sweepsim -mesh tetonly -scale 0.02 -k 16 -m 8 \
     -alg descendant_delays -anglesets 8 -verify -verify-every 1
 
+echo "== weighted smoke: heterogeneous machine end to end under -race, every run audited =="
+# The weighted event-driven engine (log-normal cell costs, per-processor
+# speeds) through both CLIs, with the independent verify.Weighted auditor
+# re-checking every produced schedule (precedence with delay gaps,
+# exclusivity, speed-scaled durations, recomputed makespan).
+go run -race ./cmd/sweepsim -mesh tetonly -scale 0.02 -k 8 -m 8 \
+    -weights 9 -speeds 1,2,4 -verify -verify-every 1
+go run -race ./cmd/sweepbench -exp weighted -scale 0.02 -procs 2,8 \
+    -speeds 1,2 -verify -verify-every 1
+
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run '^$' -fuzz '^FuzzFromEdges$' -fuzztime "$FUZZTIME" ./internal/dag
 go test -run '^$' -fuzz '^FuzzBuildEquivalence$' -fuzztime "$FUZZTIME" ./internal/dag
@@ -74,5 +84,6 @@ go test -run '^$' -fuzz '^FuzzDecodeTrace$' -fuzztime "$FUZZTIME" ./internal/sch
 go test -run '^$' -fuzz '^FuzzFaultPlan$' -fuzztime "$FUZZTIME" ./internal/faults
 go test -run '^$' -fuzz '^FuzzScheduleRequest$' -fuzztime "$FUZZTIME" ./internal/service
 go test -run '^$' -fuzz '^FuzzAnglesetExpand$' -fuzztime "$FUZZTIME" ./internal/sched
+go test -run '^$' -fuzz '^FuzzWeightedEquivalence$' -fuzztime "$FUZZTIME" ./internal/sched
 
 echo "ci: all green"

@@ -38,6 +38,8 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		workers    = flag.Int("workers", 0, "goroutines for experiment rows and per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
 		anglesets  = flag.Int("anglesets", 0, "run the fig3 harness with priorities aggregated into about this many octant anglesets (omit for the per-direction pipeline)")
+		weightSeed = flag.Uint64("weights", 0, "override the weighted experiment's cell-cost draw seed (0 = derive from -seed)")
+		speedsSpec = flag.String("speeds", "", "comma-separated per-processor speed pattern for the weighted experiment, cycled over each m, e.g. 1,2,4 (empty = uniform machine)")
 		doVerify   = flag.Bool("verify", false, "audit every produced schedule with the internal/verify auditor (fails fast on the first violation)")
 		verifyN    = flag.Int("verify-every", 1, "with -verify, audit only every Nth trial (1 = every trial)")
 		doStats    = flag.Bool("stats", false, "print accumulated counters and stage timings after the experiments")
@@ -93,6 +95,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	speeds, err := cliutil.ParseSpeeds(*speedsSpec)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Seed:        *seed,
@@ -104,6 +110,8 @@ func main() {
 		Verify:      *doVerify,
 		VerifyEvery: *verifyN,
 		Anglesets:   *anglesets,
+		Speeds:      speeds,
+		WeightSeed:  *weightSeed,
 	}
 	if *doStats {
 		cfg.Collector = obs.New()

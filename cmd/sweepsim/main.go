@@ -52,6 +52,8 @@ func main() {
 		commC      = flag.Int("c", 0, "uniform communication delay (steps per cross-processor edge)")
 		saveTrace  = flag.String("savetrace", "", "write the schedule trace to this path (view with sweepview)")
 		weighted   = flag.Bool("weighted", false, "draw log-normal per-cell costs and run the weighted engine")
+		weightSeed = flag.Uint64("weights", 0, "seed for the log-normal per-cell cost draw (implies -weighted; default derives from -seed)")
+		speedsSpec = flag.String("speeds", "", "comma-separated per-processor speed pattern, cycled over m, e.g. 1,2,4 (implies -weighted; duration = ceil(weight/speed))")
 		workers    = flag.Int("workers", 0, "goroutines for per-direction pipeline stages (0 = GOMAXPROCS; output is identical for any value)")
 		anglesets  = flag.Int("anglesets", 0, "aggregate directions into about this many octant anglesets (priorities once per angleset on representative DAGs; omit for the per-direction pipeline)")
 		doVerify   = flag.Bool("verify", false, "audit the schedule with the internal/verify auditor (independent recomputation of every constraint and metric)")
@@ -75,6 +77,16 @@ func main() {
 	if err := cliutil.ValidateVerifyEvery(*verifyN); err != nil {
 		fatal(err)
 	}
+	speeds, err := cliutil.ParseSpeeds(*speedsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	// -weights and -speeds only make sense on the weighted engine.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "weights" || f.Name == "speeds" {
+			*weighted = true
+		}
+	})
 	// -anglesets distinguishes "absent" (per-direction) from an explicit
 	// value, which must name at least one angleset.
 	flag.Visit(func(f *flag.Flag) {
@@ -110,10 +122,7 @@ func main() {
 		}()
 	}
 
-	var (
-		p   *sweepsched.Problem
-		err error
-	)
+	var p *sweepsched.Problem
 	if *meshFile != "" {
 		f, ferr := os.Open(*meshFile)
 		if ferr != nil {
@@ -151,13 +160,31 @@ func main() {
 	}
 
 	if *weighted {
-		weights := sweepsched.LogNormalWeights(p.N(), 4, 0.75, *seed^0x57)
-		wres, err := p.ScheduleWeighted(sweepsched.Scheduler(*alg), opts, weights)
+		ws := *weightSeed
+		if ws == 0 {
+			ws = *seed ^ 0x57
+		}
+		weights := sweepsched.LogNormalWeights(p.N(), 4, 0.75, ws)
+		var model *sweepsched.MachineModel
+		if len(speeds) > 0 {
+			cycled := make([]int32, p.M())
+			for i := range cycled {
+				cycled[i] = speeds[i%len(speeds)]
+			}
+			model = &sweepsched.MachineModel{Speeds: cycled}
+		}
+		wres, err := p.ScheduleWeightedMachine(sweepsched.Scheduler(*alg), opts, weights, model)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("weighted scheduler %s (block=%d, log-normal costs):\n", *alg, *block)
-		fmt.Printf("  makespan = %d  (ratio to weighted load bound: %.3f)\n", wres.Makespan, wres.Ratio)
+		fmt.Printf("weighted scheduler %s (block=%d, log-normal costs, speeds=%s):\n", *alg, *block, orUniform(*speedsSpec))
+		fmt.Printf("  weighted bounds: load=%.1f percell=%d crit=%d (max %d)\n",
+			wres.Bounds.Load, wres.Bounds.PerCell, wres.Bounds.CriticalPath, wres.Bounds.Max())
+		fmt.Printf("  makespan = %d  (ratio to load bound: %.3f, to max bound: %.3f)\n",
+			wres.Makespan, wres.Ratio, wres.StrongRatio)
+		if *doVerify {
+			fmt.Println("  verify: weighted schedule audit passed (precedence+delays, exclusivity, durations, makespan)")
+		}
 		return
 	}
 
@@ -292,6 +319,13 @@ func main() {
 			fatal(fmt.Errorf("transport: recovered flux differs from serial solve in %d of %d cells", mismatch, len(ft.Phi)))
 		}
 	}
+}
+
+func orUniform(s string) string {
+	if s == "" {
+		return "uniform"
+	}
+	return s
 }
 
 func fatal(err error) {

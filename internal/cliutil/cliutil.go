@@ -6,7 +6,11 @@
 // but is actually "always on".
 package cliutil
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // ValidateVerifyEvery rejects negative -verify-every values. 0 and 1
 // both mean "audit every run" (the documented behavior); N > 1 samples
@@ -44,4 +48,26 @@ func ValidateNonNegative(flag string, n int) error {
 		return fmt.Errorf("%s must be >= 0, got %d", flag, n)
 	}
 	return nil
+}
+
+// ParseSpeeds parses a comma-separated per-processor speeds pattern
+// ("1,2,4"). The pattern is cycled over the machine by the caller, so
+// its length need not match m. Empty means the uniform machine (nil).
+func ParseSpeeds(spec string) ([]int32, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]int32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("-speeds: entry %d (%q) is not an integer", i, p)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("-speeds: entry %d must be >= 1, got %d", i, v)
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
 }

@@ -80,3 +80,41 @@ func TestValidateAnglesets(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSpeeds(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []int32
+		wantErr bool
+	}{
+		{"empty_is_uniform", "", nil, false},
+		{"single", "4", []int32{4}, false},
+		{"pattern", "1,2,4", []int32{1, 2, 4}, false},
+		{"spaces", " 1 , 2 ", []int32{1, 2}, false},
+		{"zero", "1,0", nil, true},
+		{"negative", "-2", nil, true},
+		{"not_a_number", "1,fast", nil, true},
+		{"trailing_comma", "1,2,", nil, true},
+		{"overflow", "4294967296", nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseSpeeds(tc.spec)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ParseSpeeds(%q) = %v, %v, wantErr=%v", tc.spec, got, err, tc.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("ParseSpeeds(%q) = %v, want %v", tc.spec, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ParseSpeeds(%q) = %v, want %v", tc.spec, got, tc.want)
+				}
+			}
+		})
+	}
+}

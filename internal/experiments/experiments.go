@@ -60,6 +60,14 @@ type Config struct {
 	// Collector, when non-nil, accumulates trial counters and stage
 	// timings across the experiment's runs.
 	Collector *obs.Collector
+	// Speeds, when non-empty, gives the weighted experiment a
+	// heterogeneous machine: the pattern is cycled over each processor
+	// count (so "1,2,4" on m=8 yields speeds 1,2,4,1,2,4,1,2). Entries
+	// must be positive. Empty means the uniform machine.
+	Speeds []int32
+	// WeightSeed, when non-zero, overrides the weighted experiment's
+	// cell-cost draw seed (default: derived from Seed).
+	WeightSeed uint64
 	// Anglesets > 0 runs the Figure 3 heuristic-ratio harness with
 	// angleset aggregation: directions are partitioned into about this
 	// many sign-homogeneous anglesets and priorities are computed once

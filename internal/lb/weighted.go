@@ -1,0 +1,97 @@
+package lb
+
+import (
+	"sweepsched/internal/sched"
+)
+
+// Weighted lower bounds, the heterogeneous analogues of §4's
+// max{nk/m, k, D}. Each term is valid for any machine in the model, so
+// their max lower-bounds the optimal weighted makespan:
+//
+//   - Load: total work Σ_v k·w(v) spread over the machine's total
+//     processing capacity Σ_p speed(p). On the uniform machine this is
+//     the historical Σ_v k·w(v)/m.
+//   - PerCell: all k copies of a cell run sequentially on the one
+//     processor the cell is assigned to; even on the fastest processor
+//     that costs k·ceil(w(v)/maxSpeed). The unit-weight specialization
+//     is the paper's k — this term was missing from the pre-PR-9
+//     weighted bounds, which understated ratios whenever a heavy cell
+//     dominated (max_v k·w(v) > Σ k·w/m).
+//   - CriticalPath: the heaviest precedence chain in any single
+//     direction, each vertex charged its best-case duration
+//     ceil(w/maxSpeed). Communication delays are deliberately not
+//     charged: a chain may run entirely on one processor, where edges
+//     are free, so adding delay terms would not be a valid bound.
+type WeightedBounds struct {
+	Load         float64
+	PerCell      int64
+	CriticalPath int64
+}
+
+// Max returns the strongest of the weighted bounds, rounded up.
+func (b WeightedBounds) Max() int64 {
+	m := b.PerCell
+	if b.CriticalPath > m {
+		m = b.CriticalPath
+	}
+	if l := int64(ceil(b.Load)); l > m {
+		m = l
+	}
+	return m
+}
+
+// ComputeWeighted derives all weighted bounds from an instance, weights
+// and machine model (nil model = uniform machine).
+func ComputeWeighted(inst *sched.Instance, weights sched.CellWeights, model *sched.MachineModel) WeightedBounds {
+	k := int64(inst.K())
+	maxSpeed := int64(model.MaxSpeed())
+
+	var totalWork int64
+	perCell := int64(0)
+	for _, w := range weights {
+		totalWork += int64(w)
+		if c := k * ceilDiv64(int64(w), maxSpeed); c > perCell {
+			perCell = c
+		}
+	}
+	totalWork *= k
+
+	var capacity int64
+	for p := int32(0); p < int32(inst.M); p++ {
+		capacity += int64(model.SpeedOf(p))
+	}
+
+	crit := int64(0)
+	n := int32(inst.N())
+	dist := make([]int64, n)
+	for _, d := range inst.DAGs {
+		clear(dist)
+		for _, v := range d.TopoOrder() {
+			dv := dist[v] + ceilDiv64(int64(weights[v]), maxSpeed)
+			if dv > crit {
+				crit = dv
+			}
+			for _, w := range d.Out(v) {
+				if dv > dist[w] {
+					dist[w] = dv
+				}
+			}
+		}
+	}
+
+	return WeightedBounds{
+		Load:         float64(totalWork) / float64(capacity),
+		PerCell:      perCell,
+		CriticalPath: crit,
+	}
+}
+
+// WeightedRatio divides a weighted makespan by the strongest weighted
+// bound — the heterogeneous analogue of StrongRatio.
+func WeightedRatio(makespan int64, b WeightedBounds) float64 {
+	return float64(makespan) / float64(b.Max())
+}
+
+func ceilDiv64(a, b int64) int64 {
+	return (a + b - 1) / b
+}

@@ -1,0 +1,138 @@
+package lb
+
+import (
+	"testing"
+
+	"sweepsched/internal/sched"
+)
+
+func uniform(n int, w int32) sched.CellWeights {
+	ws := make(sched.CellWeights, n)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws
+}
+
+func TestComputeWeightedReducesToUnit(t *testing.T) {
+	in := inst(t, 16)
+	unit := Compute(in)
+	wb := ComputeWeighted(in, uniform(in.N(), 1), nil)
+	if wb.Load != unit.Load {
+		t.Fatalf("Load = %v, want %v", wb.Load, unit.Load)
+	}
+	if wb.PerCell != int64(unit.PerCell) {
+		t.Fatalf("PerCell = %d, want %d", wb.PerCell, unit.PerCell)
+	}
+	if wb.CriticalPath != int64(unit.CriticalPath) {
+		t.Fatalf("CriticalPath = %d, want %d", wb.CriticalPath, unit.CriticalPath)
+	}
+	if wb.Max() != int64(unit.Max()) {
+		t.Fatalf("Max = %d, want %d", wb.Max(), unit.Max())
+	}
+}
+
+func TestComputeWeightedScales(t *testing.T) {
+	in := inst(t, 16)
+	unit := Compute(in)
+	// All weights 3 triple every term on the uniform machine.
+	wb := ComputeWeighted(in, uniform(in.N(), 3), nil)
+	if wb.Load != 3*unit.Load {
+		t.Fatalf("Load = %v, want %v", wb.Load, 3*unit.Load)
+	}
+	if wb.PerCell != 3*int64(unit.PerCell) {
+		t.Fatalf("PerCell = %d, want %d", wb.PerCell, 3*unit.PerCell)
+	}
+	if wb.CriticalPath != 3*int64(unit.CriticalPath) {
+		t.Fatalf("CriticalPath = %d, want %d", wb.CriticalPath, 3*unit.CriticalPath)
+	}
+}
+
+func TestComputeWeightedSpeeds(t *testing.T) {
+	in := inst(t, 16)
+	unit := Compute(in)
+	// Weights 3 with all speeds 3: per-task best-case durations return to
+	// 1, and capacity grows 3x, so every term matches the unit bounds.
+	speeds := make([]int32, in.M)
+	for p := range speeds {
+		speeds[p] = 3
+	}
+	wb := ComputeWeighted(in, uniform(in.N(), 3), &sched.MachineModel{Speeds: speeds})
+	if wb.Load != unit.Load {
+		t.Fatalf("Load = %v, want %v", wb.Load, unit.Load)
+	}
+	if wb.PerCell != int64(unit.PerCell) {
+		t.Fatalf("PerCell = %d, want %d", wb.PerCell, unit.PerCell)
+	}
+	if wb.CriticalPath != int64(unit.CriticalPath) {
+		t.Fatalf("CriticalPath = %d, want %d", wb.CriticalPath, unit.CriticalPath)
+	}
+	// Mixed speeds: capacity is the sum, and the per-cell/critical terms
+	// use the fastest processor.
+	speeds[0] = 6
+	wb = ComputeWeighted(in, uniform(in.N(), 6), &sched.MachineModel{Speeds: speeds})
+	wantLoad := float64(6*in.NTasks()) / float64(3*(in.M-1)+6)
+	if wb.Load != wantLoad {
+		t.Fatalf("Load = %v, want %v", wb.Load, wantLoad)
+	}
+	if wb.PerCell != int64(unit.PerCell) {
+		t.Fatalf("PerCell = %d, want %d (ceil(6/6)=1 per copy)", wb.PerCell, unit.PerCell)
+	}
+}
+
+func TestComputeWeightedPerCellDominates(t *testing.T) {
+	// The pre-PR-9 weighted bounds omitted max_v k·w(v). Give one cell a
+	// weight heavier than the whole rest of the mesh: its k serialized
+	// copies must dominate Max().
+	in := inst(t, 16)
+	w := uniform(in.N(), 1)
+	w[0] = int32(in.N()) * 100
+	wb := ComputeWeighted(in, w, nil)
+	wantPerCell := int64(in.K()) * int64(w[0])
+	if wb.PerCell != wantPerCell {
+		t.Fatalf("PerCell = %d, want %d", wb.PerCell, wantPerCell)
+	}
+	if wb.Max() != wantPerCell {
+		t.Fatalf("Max = %d, want per-cell term %d (load %v, crit %d)",
+			wb.Max(), wantPerCell, wb.Load, wb.CriticalPath)
+	}
+	if r := WeightedRatio(2*wantPerCell, wb); r != 2 {
+		t.Fatalf("WeightedRatio = %v, want 2", r)
+	}
+}
+
+func TestWeightedBoundsHoldOnSchedules(t *testing.T) {
+	// Every bound term must actually lower-bound engine output, with and
+	// without a machine model.
+	in := inst(t, 8)
+	w := make(sched.CellWeights, in.N())
+	for v := range w {
+		w[v] = int32(v%7) + 1
+	}
+	speeds := make([]int32, in.M)
+	groups := make([]int32, in.M)
+	for p := range speeds {
+		speeds[p] = int32(p%2) + 1
+		groups[p] = int32(p % 2)
+	}
+	models := []*sched.MachineModel{
+		nil,
+		{Speeds: speeds},
+		{Speeds: speeds, Group: groups, IntraDelay: 1, CrossDelay: 3},
+	}
+	assign := make(sched.Assignment, in.N())
+	for v := range assign {
+		assign[v] = int32(v % in.M)
+	}
+	for i, mm := range models {
+		s, err := sched.ListScheduleMachine(in, assign, nil, w, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb := ComputeWeighted(in, w, mm)
+		if s.Makespan < wb.Max() {
+			t.Fatalf("model %d: makespan %d below weighted bound %d (load %v, percell %d, crit %d)",
+				i, s.Makespan, wb.Max(), wb.Load, wb.PerCell, wb.CriticalPath)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package refimpl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sweepsched/internal/sched"
+)
+
+// This file freezes the PR-9-era weighted event-driven engine on the
+// uniform machine (unit speeds, no communication delay) — the exact
+// semantics sched.ListScheduleWeighted had before the MachineModel
+// extension. Like the rest of the package it shares no queue or heap
+// code with the hot kernel: ready queues are container/heap taskHeaps
+// and the event queue is a container/heap of completion events, so
+// verify.DifferentialWeighted gets an independent oracle.
+//
+// Do not optimize or extend this file.
+
+// weightedEvent is a task completion at time on processor proc.
+type weightedEvent struct {
+	time int64
+	task sched.TaskID
+	proc int32
+}
+
+// eventQueue is a container/heap min-heap of completions ordered by
+// (time, task).
+type eventQueue []weightedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(a, b int) bool {
+	if q[a].time != q[b].time {
+		return q[a].time < q[b].time
+	}
+	return q[a].task < q[b].task
+}
+func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(weightedEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// ListScheduleWeighted is the frozen uniform-machine weighted engine:
+// event-driven priority list scheduling where a task of weight w(v)
+// occupies its processor for exactly w(v) time and a task becomes ready
+// the instant all predecessors finish. All completions sharing a
+// timestamp are drained before any start decision at that timestamp.
+func ListScheduleWeighted(inst *sched.Instance, assign sched.Assignment, prio sched.Priorities, weights sched.CellWeights) (*sched.WeightedSchedule, error) {
+	if err := assign.Validate(inst.N(), inst.M); err != nil {
+		return nil, err
+	}
+	if err := weights.Validate(inst.N()); err != nil {
+		return nil, err
+	}
+	nt := inst.NTasks()
+	if prio == nil {
+		prio = make(sched.Priorities, nt)
+	}
+	if len(prio) != nt {
+		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	}
+
+	n := int32(inst.N())
+	indeg := make([]int32, nt)
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for v := int32(0); v < n; v++ {
+			indeg[base+v] = int32(d.InDegree(v))
+		}
+	}
+
+	ready := make([]taskHeap, inst.M)
+	for p := range ready {
+		ready[p].prio = prio
+	}
+	busy := make([]bool, inst.M)
+	start := make([]int64, nt)
+	finish := make([]int64, nt)
+	for i := range start {
+		start[i] = -1
+	}
+	events := &eventQueue{}
+	remaining := nt
+
+	tryStart := func(p int32, now int64) {
+		if busy[p] || ready[p].Len() == 0 {
+			return
+		}
+		t := heap.Pop(&ready[p]).(sched.TaskID)
+		v, _ := inst.Split(t)
+		start[t] = now
+		finish[t] = now + int64(weights[v])
+		busy[p] = true
+		heap.Push(events, weightedEvent{time: finish[t], task: t, proc: p})
+	}
+
+	for t := 0; t < nt; t++ {
+		if indeg[t] == 0 {
+			v, _ := inst.Split(sched.TaskID(t))
+			heap.Push(&ready[assign[v]], sched.TaskID(t))
+		}
+	}
+	for p := int32(0); p < int32(inst.M); p++ {
+		tryStart(p, 0)
+	}
+
+	touched := make([]bool, inst.M)
+	for events.Len() > 0 {
+		now := (*events)[0].time
+		for p := range touched {
+			touched[p] = false
+		}
+		for events.Len() > 0 && (*events)[0].time == now {
+			ev := heap.Pop(events).(weightedEvent)
+			remaining--
+			busy[ev.proc] = false
+			touched[ev.proc] = true
+			v, i := inst.Split(ev.task)
+			base := sched.TaskID(i * n)
+			for _, w := range inst.DAGs[i].Out(v) {
+				wt := base + sched.TaskID(w)
+				indeg[wt]--
+				if indeg[wt] == 0 {
+					wv, _ := inst.Split(wt)
+					p := assign[wv]
+					heap.Push(&ready[p], wt)
+					touched[p] = true
+				}
+			}
+		}
+		for p := int32(0); p < int32(inst.M); p++ {
+			if touched[p] {
+				tryStart(p, now)
+			}
+		}
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("sched: weighted deadlock with %d tasks unfinished", remaining)
+	}
+
+	s := &sched.WeightedSchedule{Inst: inst, Assign: assign, Weights: weights, Start: start, Finish: finish}
+	for _, f := range finish {
+		if f > s.Makespan {
+			s.Makespan = f
+		}
+	}
+	return s, nil
+}

@@ -11,6 +11,16 @@ import (
 // copies of a cell share its weight (the cost is the local solve), tasks
 // are still non-preemptive, and the engine becomes event-driven rather
 // than step-driven.
+//
+// On top of weights the engine accepts a MachineModel (Papp & Karanasiou,
+// "Efficient Multi-Processor Scheduling in Increasingly Realistic Models"):
+// per-processor integer speeds (a task on processor p runs for
+// ceil(w(v)/speed(p)) time) and a two-level hierarchical communication
+// delay (intra-group vs cross-group, NUMA/rack-style). A nil model is the
+// uniform machine and reproduces the historical engine bit for bit; the
+// uniform machine with all-ones weights reproduces the unit ListSchedule
+// bit for bit (both reductions are fuzzer-enforced, see
+// FuzzWeightedEquivalence).
 
 // CellWeights gives every cell a positive processing cost.
 type CellWeights []int32
@@ -37,25 +47,130 @@ func UniformWeights(n int) CellWeights {
 	return w
 }
 
+// MachineModel describes the processors the weighted engine schedules
+// onto. The zero model (nil pointer, or all fields at their zero values)
+// is the paper's uniform machine: unit speeds, no communication cost.
+type MachineModel struct {
+	// Speeds holds one positive integer speed per processor; a task of
+	// weight w runs for ceil(w/speed) on its processor. nil means all 1.
+	Speeds []int32
+	// Group assigns each processor to a locality group (NUMA node, rack).
+	// nil means a single group. Group ids must be non-negative.
+	Group []int32
+	// IntraDelay is the communication delay charged on a precedence edge
+	// whose endpoints run on different processors in the same group;
+	// CrossDelay applies across groups. Same-processor edges are free.
+	// 0 ≤ IntraDelay ≤ CrossDelay.
+	IntraDelay int32
+	CrossDelay int32
+}
+
+// Validate checks the model against a processor count.
+func (mm *MachineModel) Validate(m int) error {
+	if mm == nil {
+		return nil
+	}
+	if mm.Speeds != nil {
+		if len(mm.Speeds) != m {
+			return fmt.Errorf("sched: %d speeds for %d processors", len(mm.Speeds), m)
+		}
+		for p, s := range mm.Speeds {
+			if s <= 0 {
+				return fmt.Errorf("sched: processor %d has non-positive speed %d", p, s)
+			}
+		}
+	}
+	if mm.Group != nil {
+		if len(mm.Group) != m {
+			return fmt.Errorf("sched: %d group ids for %d processors", len(mm.Group), m)
+		}
+		for p, g := range mm.Group {
+			if g < 0 {
+				return fmt.Errorf("sched: processor %d has negative group %d", p, g)
+			}
+		}
+	}
+	if mm.IntraDelay < 0 || mm.CrossDelay < mm.IntraDelay {
+		return fmt.Errorf("sched: delays must satisfy 0 <= intra (%d) <= cross (%d)",
+			mm.IntraDelay, mm.CrossDelay)
+	}
+	return nil
+}
+
+// SpeedOf returns processor p's speed under the model (1 for the uniform
+// machine). Safe on a nil model.
+func (mm *MachineModel) SpeedOf(p int32) int32 {
+	if mm == nil || mm.Speeds == nil {
+		return 1
+	}
+	return mm.Speeds[p]
+}
+
+// MaxSpeed returns the fastest processor's speed (1 for the uniform
+// machine). Safe on a nil model.
+func (mm *MachineModel) MaxSpeed() int32 {
+	if mm == nil || mm.Speeds == nil {
+		return 1
+	}
+	best := int32(1)
+	for _, s := range mm.Speeds {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// DelayOf returns the communication delay charged on an edge from a task
+// on processor p to a successor on processor q. Safe on a nil model.
+func (mm *MachineModel) DelayOf(p, q int32) int64 {
+	if mm == nil || p == q {
+		return 0
+	}
+	if mm.Group == nil || mm.Group[p] == mm.Group[q] {
+		return int64(mm.IntraDelay)
+	}
+	return int64(mm.CrossDelay)
+}
+
+// hasDelays reports whether any edge can be charged a delay; when false
+// the engine takes exactly the historical delay-free path.
+func (mm *MachineModel) hasDelays() bool {
+	return mm != nil && (mm.IntraDelay > 0 || mm.CrossDelay > 0)
+}
+
+// durationOn is ceil(w/speed): the run time of a weight-w task on a
+// speed-s processor.
+func durationOn(w, s int32) int64 {
+	return (int64(w) + int64(s) - 1) / int64(s)
+}
+
 // WeightedSchedule is a completed weighted run: per-task start and finish
-// times (finish = start + weight of the task's cell).
+// times (finish = start + ceil(weight/speed) of the task's cell on its
+// processor). Model is the machine it was scheduled for (nil = uniform).
 type WeightedSchedule struct {
 	Inst     *Instance
 	Assign   Assignment
 	Weights  CellWeights
+	Model    *MachineModel
 	Start    []int64
 	Finish   []int64
 	Makespan int64
 }
 
-// Validate checks weighted feasibility: durations, precedence with
-// finish-to-start semantics, and no overlapping intervals on a processor.
+// Validate checks weighted feasibility: durations under the model's
+// speeds, precedence with finish-to-start semantics plus the model's
+// hierarchical communication delays, and no overlapping intervals on a
+// processor.
 func (s *WeightedSchedule) Validate() error {
 	inst := s.Inst
 	if err := s.Assign.Validate(inst.N(), inst.M); err != nil {
 		return err
 	}
 	if err := s.Weights.Validate(inst.N()); err != nil {
+		return err
+	}
+	if err := s.Model.Validate(inst.M); err != nil {
 		return err
 	}
 	nt := inst.NTasks()
@@ -69,17 +184,20 @@ func (s *WeightedSchedule) Validate() error {
 		if s.Start[t] < 0 {
 			return fmt.Errorf("sched: task %d unscheduled", t)
 		}
-		if s.Finish[t] != s.Start[t]+int64(s.Weights[v]) {
-			return fmt.Errorf("sched: task %d duration wrong: [%d,%d) weight %d",
-				t, s.Start[t], s.Finish[t], s.Weights[v])
+		p := s.Assign[v]
+		if d := durationOn(s.Weights[v], s.Model.SpeedOf(p)); s.Finish[t] != s.Start[t]+d {
+			return fmt.Errorf("sched: task %d duration wrong: [%d,%d) want %d",
+				t, s.Start[t], s.Finish[t], d)
 		}
 	}
 	for i, d := range inst.DAGs {
 		base := TaskID(int32(i) * n)
 		for u := int32(0); u < n; u++ {
 			fu := s.Finish[base+TaskID(u)]
+			pu := s.Assign[u]
 			for _, w := range d.Out(u) {
-				if s.Start[base+TaskID(w)] < fu {
+				gap := s.Model.DelayOf(pu, s.Assign[w])
+				if s.Start[base+TaskID(w)] < fu+gap {
 					return fmt.Errorf("sched: weighted precedence violated on (%d,%d)->(%d,%d)", u, i, w, i)
 				}
 			}
@@ -109,7 +227,12 @@ func (s *WeightedSchedule) Validate() error {
 	return nil
 }
 
-// completionEvent orders the event queue by (finish time, task id).
+// completionEvent orders the event queue by (time, task id). proc is the
+// processor freed by a completion, or -1 for a release event (a task whose
+// communication delay elapses at time, making it ready on its processor).
+// A task never has a completion and a release pending at once — release
+// precedes start precedes completion — so (time, task) stays a total
+// order over the queue.
 type completionEvent struct {
 	time int64
 	task TaskID
@@ -175,81 +298,113 @@ func (h *eventHeap) pop() completionEvent {
 	return top
 }
 
-// ListScheduleWeighted runs event-driven priority list scheduling with
-// per-cell weights: whenever a processor goes idle and has ready tasks, it
-// immediately starts the smallest-priority one; a task becomes ready when
-// all predecessors have finished. With all-ones weights it produces exactly
-// the schedules of ListSchedule (same greedy rule).
-func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, weights CellWeights) (*WeightedSchedule, error) {
-	if err := assign.Validate(inst.N(), inst.M); err != nil {
-		return nil, err
+// weightedTryStart starts the best ready task on processor p at time now,
+// if p is idle and has one. A plain function (not a closure) so the warm
+// kernel allocates nothing.
+func weightedTryStart(p int32, now int64, inst *Instance, busy []bool, ready []heap4,
+	start, finish []int64, weights CellWeights, model *MachineModel, events *eventHeap) {
+	if busy[p] || ready[p].len() == 0 {
+		return
 	}
+	t := ready[p].pop()
+	v, _ := inst.Split(t)
+	start[t] = now
+	finish[t] = now + durationOn(weights[v], model.SpeedOf(p))
+	busy[p] = true
+	events.push(completionEvent{time: finish[t], task: t, proc: p})
+}
+
+// ensureWeighted sizes dst's start/finish arrays for nt tasks, reusing
+// their backing arrays when the destination schedule is recycled.
+func ensureWeighted(dst *WeightedSchedule, nt int) (start, finish []int64) {
+	if cap(dst.Start) < nt {
+		dst.Start = make([]int64, nt)
+	}
+	dst.Start = dst.Start[:nt]
+	if cap(dst.Finish) < nt {
+		dst.Finish = make([]int64, nt)
+	}
+	dst.Finish = dst.Finish[:nt]
+	return dst.Start, dst.Finish
+}
+
+// ListScheduleWeightedInto is the allocation-free core of event-driven
+// priority list scheduling with per-cell weights under a MachineModel:
+// whenever a processor goes idle and has ready tasks, it immediately
+// starts the smallest-priority one; a task becomes ready when every
+// predecessor has finished and its cross-processor communication delays
+// (if the model charges any) have elapsed. All completions and releases
+// sharing a timestamp are drained before any start decision at that
+// timestamp, so priority choices see every task the moment makes ready —
+// the same semantics as the step-driven unit scheduler.
+//
+// A nil model is the uniform machine and reproduces the historical
+// delay-free engine exactly: with no delays a successor's release time
+// always equals the timestamp being drained, so it goes straight to its
+// ready heap and no release events are ever queued. On a warm workspace
+// and recycled dst the kernel performs zero heap allocations.
+func ListScheduleWeightedInto(ws *Workspace, dst *WeightedSchedule, inst *Instance,
+	assign Assignment, prio Priorities, weights CellWeights, model *MachineModel) error {
 	if err := weights.Validate(inst.N()); err != nil {
-		return nil, err
+		return err
 	}
-	nt := inst.NTasks()
-	if prio == nil {
-		prio = make(Priorities, nt)
+	if err := model.Validate(inst.M); err != nil {
+		return err
 	}
-	if len(prio) != nt {
-		return nil, fmt.Errorf("sched: %d priorities for %d tasks", len(prio), nt)
+	prio, err := ws.checkListArgs(inst, assign, prio)
+	if err != nil {
+		return err
 	}
-
+	span := ws.col.Span("sched.weighted.time")
+	ws.ensureWeighted(inst)
 	n := int32(inst.N())
-	indeg := make([]int32, nt)
-	for i, d := range inst.DAGs {
-		base := int32(i) * n
-		for v := int32(0); v < n; v++ {
-			indeg[base+v] = int32(d.InDegree(v))
-		}
-	}
-
-	ready := make([]heap4, inst.M)
+	nt := inst.NTasks()
+	m := inst.M
+	ws.fillIndeg(inst)
+	indeg := ws.indeg
+	ready := ws.heaps[:m]
 	for p := range ready {
 		ready[p].reset(prio)
 	}
-	busy := make([]bool, inst.M)
-	start := make([]int64, nt)
-	finish := make([]int64, nt)
+	busy := ws.busyBuf
+	touched := ws.touchBuf
+	clear(busy)
+	delayed := model.hasDelays()
+	readyW := ws.readyW
+	if delayed {
+		clear(readyW)
+	}
+	events := &ws.events
+	*events = (*events)[:0]
+
+	start, finish := ensureWeighted(dst, nt)
 	for i := range start {
 		start[i] = -1
 	}
-	var events eventHeap
 	remaining := nt
-
-	tryStart := func(p int32, now int64) {
-		if busy[p] || ready[p].len() == 0 {
-			return
-		}
-		t := ready[p].pop()
-		v, _ := inst.Split(t)
-		start[t] = now
-		finish[t] = now + int64(weights[v])
-		busy[p] = true
-		events.push(completionEvent{time: finish[t], task: t, proc: p})
-	}
 
 	for t := 0; t < nt; t++ {
 		if indeg[t] == 0 {
-			v, _ := inst.Split(TaskID(t))
-			ready[assign[v]].push(TaskID(t))
+			ready[assign[int32(t)%n]].push(TaskID(t))
 		}
 	}
-	for p := int32(0); p < int32(inst.M); p++ {
-		tryStart(p, 0)
+	for p := int32(0); p < int32(m); p++ {
+		weightedTryStart(p, 0, inst, busy, ready, start, finish, weights, model, events)
 	}
 
-	// Process all completions sharing a timestamp before starting anything
-	// at that time, so priority choices see every task the moment makes
-	// ready — the same semantics as the step-driven unit scheduler.
-	touched := make([]bool, inst.M)
-	for len(events) > 0 {
-		now := events[0].time
-		for p := range touched {
-			touched[p] = false
-		}
-		for len(events) > 0 && events[0].time == now {
+	for len(*events) > 0 {
+		now := (*events)[0].time
+		clear(touched)
+		for len(*events) > 0 && (*events)[0].time == now {
 			ev := events.pop()
+			if ev.proc < 0 {
+				// Release: the task's last communication delay elapses now.
+				v, _ := inst.Split(ev.task)
+				p := assign[v]
+				ready[p].push(ev.task)
+				touched[p] = true
+				continue
+			}
 			remaining--
 			busy[ev.proc] = false
 			touched[ev.proc] = true
@@ -257,62 +412,62 @@ func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, we
 			base := TaskID(i * n)
 			for _, w := range inst.DAGs[i].Out(v) {
 				wt := base + TaskID(w)
+				if delayed {
+					if cand := now + model.DelayOf(ev.proc, assign[w]); cand > readyW[wt] {
+						readyW[wt] = cand
+					}
+				}
 				indeg[wt]--
 				if indeg[wt] == 0 {
-					wv, _ := inst.Split(wt)
-					p := assign[wv]
-					ready[p].push(wt)
-					touched[p] = true
+					p := assign[w]
+					if delayed && readyW[wt] > now {
+						events.push(completionEvent{time: readyW[wt], task: wt, proc: -1})
+					} else {
+						ready[p].push(wt)
+						touched[p] = true
+					}
 				}
 			}
 		}
-		for p := int32(0); p < int32(inst.M); p++ {
+		for p := int32(0); p < int32(m); p++ {
 			if touched[p] {
-				tryStart(p, now)
+				weightedTryStart(p, now, inst, busy, ready, start, finish, weights, model, events)
 			}
 		}
 	}
 	if remaining != 0 {
-		return nil, fmt.Errorf("sched: weighted deadlock with %d tasks unfinished", remaining)
+		return fmt.Errorf("sched: weighted deadlock with %d tasks unfinished", remaining)
 	}
 
-	s := &WeightedSchedule{Inst: inst, Assign: assign, Weights: weights, Start: start, Finish: finish}
+	dst.Inst, dst.Assign, dst.Weights, dst.Model = inst, assign, weights, model
+	dst.Makespan = 0
 	for _, f := range finish {
-		if f > s.Makespan {
-			s.Makespan = f
+		if f > dst.Makespan {
+			dst.Makespan = f
 		}
 	}
-	return s, nil
+	span.End()
+	ws.col.Counter("sched.weighted.runs").Inc()
+	return nil
 }
 
-// WeightedLoadBound returns the weighted load lower bound Σ_v k·w(v) / m.
-func WeightedLoadBound(inst *Instance, weights CellWeights) float64 {
-	var total int64
-	for _, w := range weights {
-		total += int64(w)
-	}
-	return float64(total) * float64(inst.K()) / float64(inst.M)
+// ListScheduleWeighted runs the weighted engine on the uniform machine
+// (unit speeds, no communication cost) — the historical entry point. A
+// pooled wrapper over ListScheduleWeightedInto.
+func ListScheduleWeighted(inst *Instance, assign Assignment, prio Priorities, weights CellWeights) (*WeightedSchedule, error) {
+	return ListScheduleMachine(inst, assign, prio, weights, nil)
 }
 
-// WeightedCriticalPath returns the heaviest weighted chain over all
-// direction DAGs — the weighted analogue of D.
-func WeightedCriticalPath(inst *Instance, weights CellWeights) int64 {
-	best := int64(0)
-	n := int32(inst.N())
-	for _, d := range inst.DAGs {
-		dist := make([]int64, n)
-		order := d.TopoOrder()
-		for _, v := range order {
-			dv := dist[v] + int64(weights[v])
-			if dv > best {
-				best = dv
-			}
-			for _, w := range d.Out(v) {
-				if dv > dist[w] {
-					dist[w] = dv
-				}
-			}
-		}
+// ListScheduleMachine runs the weighted engine under a machine model:
+// per-processor speeds and hierarchical communication delays. A pooled
+// wrapper over ListScheduleWeightedInto; a nil model is the uniform
+// machine.
+func ListScheduleMachine(inst *Instance, assign Assignment, prio Priorities, weights CellWeights, model *MachineModel) (*WeightedSchedule, error) {
+	ws := GetWorkspace(inst)
+	defer ws.Release()
+	dst := &WeightedSchedule{}
+	if err := ListScheduleWeightedInto(ws, dst, inst, assign, prio, weights, model); err != nil {
+		return nil, err
 	}
-	return best
+	return dst, nil
 }

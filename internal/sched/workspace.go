@@ -38,6 +38,13 @@ type Workspace struct {
 	// dirGroup maps direction -> angleset for the aggregated kernels
 	// (filled and validated by fillDirGroup per run).
 	dirGroup []int32
+	// Weighted-engine scratch (weighted.go): the completion/release event
+	// heap, per-processor busy and touched flags, and per-task int64
+	// release times for the hierarchical-delay machine model.
+	events   eventHeap
+	busyBuf  []bool
+	touchBuf []bool
+	readyW   []int64
 
 	// col receives the kernels' stage timers and run/step counters
 	// (SetObserver). nil disables collection; the nil-safe obs calls cost
@@ -153,6 +160,26 @@ func (ws *Workspace) ensure(inst *Instance) {
 	if cap(ws.completed) < m {
 		ws.completed = make([]TaskID, 0, m)
 	}
+}
+
+// ensureWeighted grows the weighted engine's extra scratch (event heap,
+// busy/touched flags, release times) to the instance's shape. Like
+// ensure, it allocates nothing once warm for a shape.
+func (ws *Workspace) ensureWeighted(inst *Instance) {
+	nt, m := inst.NTasks(), inst.M
+	if cap(ws.busyBuf) < m {
+		ws.busyBuf = make([]bool, m)
+	}
+	ws.busyBuf = ws.busyBuf[:m]
+	if cap(ws.touchBuf) < m {
+		ws.touchBuf = make([]bool, m)
+	}
+	ws.touchBuf = ws.touchBuf[:m]
+	if cap(ws.readyW) < nt {
+		ws.readyW = make([]int64, nt)
+	}
+	ws.readyW = ws.readyW[:nt]
+	// ws.events grows by append inside the run and keeps its capacity.
 }
 
 // checkListArgs validates the shared argument contract of the kernels

@@ -210,8 +210,10 @@ type familyEntry struct {
 // transport solves over a cached schedule) survive family-tier
 // eviction.
 type scheduleEntry struct {
-	res *sweepsched.Result
-	fam *familyEntry
+	// Exactly one of res (unit-task run) and wres (weighted run) is set.
+	res  *sweepsched.Result
+	wres *sweepsched.WeightedResult
+	fam  *familyEntry
 	// verified records whether the producing run was audited by
 	// internal/verify (VerifyEvery sampling may have skipped it).
 	verified bool
@@ -272,7 +274,13 @@ func familyBytes(e *familyEntry) int64 {
 	return 128 + k*(3*4*(n+1)+2*4*2*n)
 }
 
-// scheduleBytes estimates a schedule entry: start steps + assignment.
+// scheduleBytes estimates a schedule entry: start steps + assignment
+// (weighted entries carry int64 start/finish arrays plus the weights).
 func scheduleBytes(e *scheduleEntry) int64 {
+	if e.wres != nil {
+		s := e.wres.Schedule
+		return 128 + 8*int64(len(s.Start)+len(s.Finish)) +
+			4*int64(len(s.Assign)+len(s.Weights))
+	}
 	return 96 + 4*int64(len(e.res.Schedule.Start)) + 4*int64(len(e.res.Schedule.Assign))
 }

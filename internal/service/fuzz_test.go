@@ -28,6 +28,9 @@ func FuzzScheduleRequest(f *testing.F) {
 		`{"mesh":{"family":"tetonly","scale":0.02},"directions":16,"procs":8,"anglesets":-3}`,
 		`{"mesh":{"synthetic":"random_chains","n":50},"directions":4,"procs":8,"anglesets":4}`,
 		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":4,"scheduler":"improved_delays","anglesets":8}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16,"weighted":true,"weight_seed":7,"speeds":[1,2,3]}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16,"speeds":[0]}`,
+		`{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16,"weighted":true,"comm_delay":1}`,
 		strings.Repeat(`[`, 1000),
 	}
 	for _, s := range seeds {
@@ -65,6 +68,7 @@ func FuzzTransportRequest(f *testing.F) {
 		`{}`,
 		`{"schedule":{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16},"sigma_t":1,"sigma_s":0.5,"source":1}`,
 		`{"schedule":{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16},"sigma_t":1,"sigma_s":2,"source":1}`,
+		`{"schedule":{"mesh":{"family":"tetonly","scale":0.02},"directions":8,"procs":16,"weighted":true},"sigma_t":1,"sigma_s":0.5,"source":1}`,
 		`{"schedule":null,"sigma_t":1e999}`,
 	}
 	for _, s := range seeds {

@@ -169,6 +169,14 @@ type ScheduleResponse struct {
 	Ratio    float64    `json:"ratio"`
 	Bounds   BoundsInfo `json:"bounds"`
 
+	// Weighted marks a weighted run; WeightedBounds and StrongRatio
+	// report the speed-aware lower bounds and makespan/max-bound ratio.
+	// C1 and C2 are zero for weighted runs (depth metrics are unit-task
+	// notions), and Bounds still describes the unit-task family.
+	Weighted       bool                `json:"weighted,omitempty"`
+	WeightedBounds *WeightedBoundsInfo `json:"weighted_bounds,omitempty"`
+	StrongRatio    float64             `json:"strong_ratio,omitempty"`
+
 	// Verified reports whether the run that produced this schedule was
 	// audited by internal/verify (sampling may skip runs; a cache hit
 	// reports the producing run's audit).
@@ -179,8 +187,20 @@ type ScheduleResponse struct {
 	Stats        *obs.Snapshot `json:"stats,omitempty"`
 
 	// Assign and Start are included only when include_schedule is set.
-	Assign []int32 `json:"assign,omitempty"`
-	Start  []int32 `json:"start,omitempty"`
+	// Weighted runs report Start64/Finish64 (event times, not steps)
+	// instead of Start.
+	Assign   []int32 `json:"assign,omitempty"`
+	Start    []int32 `json:"start,omitempty"`
+	Start64  []int64 `json:"start64,omitempty"`
+	Finish64 []int64 `json:"finish64,omitempty"`
+}
+
+// WeightedBoundsInfo is the weighted/heterogeneous lower-bound terms
+// (internal/lb.WeightedBounds) for a weighted run.
+type WeightedBoundsInfo struct {
+	Load         float64 `json:"load"`          // sum k·w(v) / sum speed(p)
+	PerCell      int64   `json:"per_cell"`      // max_v k·ceil(w(v)/maxspeed)
+	CriticalPath int64   `json:"critical_path"` // heaviest chain
 }
 
 // TransportResponse is the body of a successful POST /v1/transport.
@@ -469,15 +489,35 @@ func (s *Server) buildSchedule(ctx context.Context, req *ScheduleRequest, meshKe
 	}
 	span := s.col.Span("service.build.schedule.time")
 	defer span.End()
-	var res *sweepsched.Result
-	if req.CommDelay > 0 {
+	var (
+		res  *sweepsched.Result
+		wres *sweepsched.WeightedResult
+	)
+	switch {
+	case req.Weighted:
+		// The weighted path has no Ctx variant; cancellation is
+		// observed before and after the kernel run.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		weights := sweepsched.LogNormalWeights(fam.prob.N(), 4, 0.75, req.WeightSeed)
+		var model *sweepsched.MachineModel
+		if len(req.Speeds) > 0 {
+			speeds := make([]int32, fam.prob.M())
+			for p := range speeds {
+				speeds[p] = req.Speeds[p%len(req.Speeds)]
+			}
+			model = &sweepsched.MachineModel{Speeds: speeds}
+		}
+		wres, err = fam.prob.ScheduleWeightedMachine(sweepsched.Scheduler(req.Scheduler), opts, weights, model)
+	case req.CommDelay > 0:
 		// The comm-delay path has no Ctx variant; cancellation is
 		// observed before and after the kernel run.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		res, err = fam.prob.ScheduleComm(sweepsched.Scheduler(req.Scheduler), opts, req.CommDelay)
-	} else {
+	default:
 		res, err = fam.prob.ScheduleCtx(ctx, sweepsched.Scheduler(req.Scheduler), opts)
 	}
 	if err != nil {
@@ -492,6 +532,7 @@ func (s *Server) buildSchedule(ctx context.Context, req *ScheduleRequest, meshKe
 	s.col.Counter("service.build.schedule").Inc()
 	ent := &scheduleEntry{
 		res:      res,
+		wres:     wres,
 		verified: reqCol.Counter("api.verified").Value() > 0,
 		fam:      fam,
 	}
@@ -628,10 +669,6 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, ent *scheduleEntry, fam 
 		M:         p.M(),
 		Tasks:     p.Tasks(),
 		Scheduler: req.Scheduler,
-		Makespan:  ent.res.Metrics.Makespan,
-		C1:        ent.res.Metrics.C1,
-		C2:        ent.res.Metrics.C2,
-		Ratio:     ent.res.Ratio,
 		Bounds: BoundsInfo{
 			Load:         fam.bounds.Load,
 			PerCell:      fam.bounds.PerCell,
@@ -641,10 +678,32 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, ent *scheduleEntry, fam 
 		Cache:        trace,
 		ElapsedNanos: int64(time.Since(begin)),
 	}
+	if w := ent.wres; w != nil {
+		resp.Weighted = true
+		resp.Makespan = int(w.Makespan)
+		resp.Ratio = w.Ratio
+		resp.StrongRatio = w.StrongRatio
+		resp.WeightedBounds = &WeightedBoundsInfo{
+			Load:         w.Bounds.Load,
+			PerCell:      w.Bounds.PerCell,
+			CriticalPath: w.Bounds.CriticalPath,
+		}
+	} else {
+		resp.Makespan = ent.res.Metrics.Makespan
+		resp.C1 = ent.res.Metrics.C1
+		resp.C2 = ent.res.Metrics.C2
+		resp.Ratio = ent.res.Ratio
+	}
 	if req.IncludeSchedule {
 		// Copy: the cached entry is shared and must stay immutable.
-		resp.Assign = append([]int32(nil), ent.res.Schedule.Assign...)
-		resp.Start = append([]int32(nil), ent.res.Schedule.Start...)
+		if w := ent.wres; w != nil {
+			resp.Assign = append([]int32(nil), w.Schedule.Assign...)
+			resp.Start64 = append([]int64(nil), w.Schedule.Start...)
+			resp.Finish64 = append([]int64(nil), w.Schedule.Finish...)
+		} else {
+			resp.Assign = append([]int32(nil), ent.res.Schedule.Assign...)
+			resp.Start = append([]int32(nil), ent.res.Schedule.Start...)
+		}
 	}
 	if req.IncludeStats {
 		snap := reqCol.Snapshot()

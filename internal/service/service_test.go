@@ -771,3 +771,106 @@ func TestScheduleAnglesets(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleWeighted: a weighted request succeeds with the audit on,
+// the weight draw and speeds pattern are part of the schedule cache key
+// (same spec hits; different weight_seed or speeds miss while reusing
+// the DAG family), the response carries the weighted bound terms, and
+// invalid weighted requests classify as 400.
+func TestScheduleWeighted(t *testing.T) {
+	cfg := testConfig()
+	cfg.Verify = true
+	srv, ts := newTestServer(t, cfg)
+
+	spec := baseSpec()
+	spec["weighted"] = true
+	spec["weight_seed"] = 11
+	spec["speeds"] = []int32{1, 2, 3}
+	spec["include_schedule"] = true
+	status, cold, msg := postSchedule(t, ts, spec)
+	if status != 200 {
+		t.Fatalf("weighted request status = %d: %s", status, msg)
+	}
+	if !cold.Weighted || cold.WeightedBounds == nil {
+		t.Fatalf("response not marked weighted: %+v", cold)
+	}
+	if cold.Makespan <= 0 || cold.StrongRatio < 1 || cold.Ratio < cold.StrongRatio {
+		t.Fatalf("implausible weighted metrics: %+v", cold)
+	}
+	if cold.C1 != 0 || cold.C2 != 0 {
+		t.Fatalf("weighted run reported unit-task depth metrics: %+v", cold)
+	}
+	if !cold.Verified {
+		t.Fatal("weighted run with Verify on was not audited")
+	}
+	if len(cold.Start64) != cold.Tasks || len(cold.Finish64) != cold.Tasks || len(cold.Start) != 0 {
+		t.Fatalf("weighted include_schedule arrays wrong: start64 %d finish64 %d start %d",
+			len(cold.Start64), len(cold.Finish64), len(cold.Start))
+	}
+
+	status, warm, _ := postSchedule(t, ts, spec)
+	if status != 200 || warm.Cache.Schedule != "hit" {
+		t.Fatalf("identical weighted request missed: status %d, trace %+v", status, warm.Cache)
+	}
+	if warm.Makespan != cold.Makespan || warm.StrongRatio != cold.StrongRatio {
+		t.Fatalf("warm weighted metrics differ: %+v vs %+v", warm, cold)
+	}
+
+	builds := counterValue(srv, "service.build.dag_family")
+	for name, tweak := range map[string]func(map[string]any){
+		"weight_seed": func(s map[string]any) { s["weight_seed"] = 12 },
+		"speeds":      func(s map[string]any) { s["speeds"] = []int32{2, 1} },
+		"unweighted":  func(s map[string]any) { delete(s, "weighted"); delete(s, "weight_seed"); delete(s, "speeds") },
+	} {
+		other := baseSpec()
+		other["weighted"] = true
+		other["weight_seed"] = 11
+		other["speeds"] = []int32{1, 2, 3}
+		other["include_schedule"] = true
+		tweak(other)
+		status, r, msg := postSchedule(t, ts, other)
+		if status != 200 {
+			t.Fatalf("%s: status = %d (%s)", name, status, msg)
+		}
+		if r.Cache.Schedule != "miss" {
+			t.Fatalf("%s: shared a schedule entry with a different run: %+v", name, r.Cache)
+		}
+	}
+	if got := counterValue(srv, "service.build.dag_family"); got != builds {
+		t.Fatalf("weighted key changes rebuilt the DAG family (%d -> %d)", builds, got)
+	}
+
+	for name, bad := range map[string]map[string]any{
+		"seed_without_weighted":   {"weight_seed": 5},
+		"speeds_without_weighted": {"speeds": []int32{1, 2}},
+		"with_comm_delay":         {"weighted": true, "comm_delay": 2},
+		"with_anglesets":          {"weighted": true, "anglesets": 4},
+		"layer_sync_scheduler":    {"weighted": true, "scheduler": "random_delays"},
+		"zero_speed":              {"weighted": true, "speeds": []int32{1, 0}},
+		"huge_speed":              {"weighted": true, "speeds": []int32{1 << 21}},
+	} {
+		spec := baseSpec()
+		for k, v := range bad {
+			spec[k] = v
+		}
+		if status, _, msg := postSchedule(t, ts, spec); status != 400 {
+			t.Fatalf("%s: status = %d (%s), want 400", name, status, msg)
+		}
+	}
+
+	// Transport over a weighted schedule is schedule-only: 400.
+	treq := map[string]any{"schedule": func() map[string]any {
+		s := baseSpec()
+		s["weighted"] = true
+		return s
+	}(), "sigma_t": 1.0, "sigma_s": 0.5, "source": 1.0}
+	body, _ := json.Marshal(treq)
+	resp, err := ts.Client().Post(ts.URL+"/v1/transport", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("weighted transport: status %d, want 400", resp.StatusCode)
+	}
+}

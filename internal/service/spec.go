@@ -39,6 +39,11 @@ const (
 	MaxCommDelay  = 1 << 20  // uniform comm delay c
 	MaxBlockSize  = 1 << 20  // §5.1 block size
 	MaxBody       = 32 << 20 // request body bytes (inline meshes)
+
+	// Weighted-run ceilings: the speeds pattern is cycled over m, so a
+	// short pattern covers any machine; entries are per-processor speeds.
+	MaxSpeedEntries = 4096
+	MaxSpeed        = 1 << 20
 )
 
 // RequestError marks a client-side error: anything wrapped in it is
@@ -120,6 +125,18 @@ type ScheduleRequest struct {
 	// per-direction pipeline. Aggregation changes tie-breaking, so the
 	// value is part of the schedule cache key.
 	Anglesets int `json:"anglesets,omitempty"`
+
+	// Weighted runs the heterogeneous-cost engine: per-cell integer
+	// weights drawn log-normal (median 4, σ 0.75) from WeightSeed, so
+	// identical requests stay cacheable. Incompatible with comm_delay
+	// (the weighted engine has its own machine model), anglesets and
+	// random_delays.
+	Weighted   bool   `json:"weighted,omitempty"`
+	WeightSeed uint64 `json:"weight_seed,omitempty"`
+	// Speeds gives per-processor integer speeds for a weighted run
+	// (duration = ceil(weight/speed)); the pattern is cycled over the m
+	// processors. Empty means the uniform machine.
+	Speeds []int32 `json:"speeds,omitempty"`
 
 	// Workers bounds the per-direction pipeline parallelism of this
 	// request (0 = server default). Output is bit-identical for every
@@ -294,6 +311,33 @@ func (req *ScheduleRequest) Validate() error {
 				req.Scheduler, sweepsched.RandomDelaysPriority)
 		}
 	}
+	if !req.Weighted {
+		if req.WeightSeed != 0 {
+			return badRequest("weight_seed applies only to weighted runs (set weighted: true)")
+		}
+		if len(req.Speeds) != 0 {
+			return badRequest("speeds apply only to weighted runs (set weighted: true)")
+		}
+	} else {
+		if req.CommDelay > 0 {
+			return badRequest("weighted runs model communication through speeds/groups, not comm_delay")
+		}
+		if req.Anglesets > 0 {
+			return badRequest("the weighted engine has no angleset-aggregated form (use anglesets = 0)")
+		}
+		if req.Scheduler == string(sweepsched.RandomDelays) {
+			return badRequest("%s is layer-synchronous and has no weighted form; use %s",
+				sweepsched.RandomDelays, sweepsched.RandomDelaysPriority)
+		}
+		if len(req.Speeds) > MaxSpeedEntries {
+			return badRequest("speeds pattern must have at most %d entries, got %d", MaxSpeedEntries, len(req.Speeds))
+		}
+		for i, sp := range req.Speeds {
+			if sp <= 0 || sp > MaxSpeed {
+				return badRequest("speeds[%d] must be in [1, %d], got %d", i, MaxSpeed, sp)
+			}
+		}
+	}
 	if req.Mesh.Synthetic != "" {
 		// Synthetic cell counts are known without building; family/inline
 		// meshes are re-checked against MaxTasks after realization.
@@ -308,6 +352,9 @@ func (req *ScheduleRequest) Validate() error {
 func (req *TransportRequest) Validate() error {
 	if err := req.Schedule.Validate(); err != nil {
 		return err
+	}
+	if req.Schedule.Weighted {
+		return badRequest("transport solves execute unit-task schedules; weighted runs are schedule-only")
 	}
 	if req.SigmaT <= 0 || math.IsNaN(req.SigmaT) || math.IsInf(req.SigmaT, 0) {
 		return badRequest("sigma_t must be positive and finite, got %v", req.SigmaT)
@@ -363,6 +410,12 @@ func (req *ScheduleRequest) familyKey(meshKey string) string {
 // output is bit-identical for every worker count (DESIGN.md §7) — as
 // are the response-shaping flags.
 func (req *ScheduleRequest) scheduleKey(familyKey string) string {
-	return fmt.Sprintf("%s|alg:%s|block:%d|seed:%d|c:%d|as:%d",
+	key := fmt.Sprintf("%s|alg:%s|block:%d|seed:%d|c:%d|as:%d",
 		familyKey, req.Scheduler, req.BlockSize, req.Seed, req.CommDelay, req.Anglesets)
+	if req.Weighted {
+		// Weighted runs are addressed by the weight draw and the machine
+		// (the speeds pattern, pre-cycling). Unweighted keys are unchanged.
+		key = fmt.Sprintf("%s|w:%d|sp:%v", key, req.WeightSeed, req.Speeds)
+	}
+	return key
 }

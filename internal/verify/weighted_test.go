@@ -1,0 +1,207 @@
+package verify_test
+
+import (
+	"testing"
+
+	"sweepsched/internal/rng"
+	"sweepsched/internal/sched"
+	"sweepsched/internal/verify"
+)
+
+func testWeights(n int, seed uint64, max int) sched.CellWeights {
+	r := rng.New(seed)
+	w := make(sched.CellWeights, n)
+	for i := range w {
+		w[i] = int32(r.Intn(max)) + 1
+	}
+	return w
+}
+
+func heteroModel(m int) *sched.MachineModel {
+	speeds := make([]int32, m)
+	groups := make([]int32, m)
+	for p := range speeds {
+		speeds[p] = int32(p%3) + 1
+		groups[p] = int32(p % 2)
+	}
+	return &sched.MachineModel{Speeds: speeds, Group: groups, IntraDelay: 1, CrossDelay: 3}
+}
+
+// validWeighted builds a feasible weighted schedule for corruption tests.
+func validWeighted(t *testing.T, inst *sched.Instance, seed uint64, model *sched.MachineModel) *sched.WeightedSchedule {
+	t.Helper()
+	r := rng.New(seed)
+	assign := sched.RandomAssignment(inst.N(), inst.M, r)
+	s, err := sched.ListScheduleMachine(inst, assign, nil, testWeights(inst.N(), seed^0x11, 7), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWeightedAcceptsEngineOutput(t *testing.T) {
+	instances := map[string]*sched.Instance{
+		"mesh":      meshInstance(t, 3, 8, 6, 21),
+		"synthetic": syntheticInstance(t, 40, 4, 5, 22),
+	}
+	for iname, inst := range instances {
+		models := map[string]*sched.MachineModel{
+			"uniform": nil,
+			"speeds":  {Speeds: heteroModel(inst.M).Speeds},
+			"hetero":  heteroModel(inst.M),
+		}
+		for mname, model := range models {
+			s := validWeighted(t, inst, 31, model)
+			if err := verify.Weighted(inst, s); err != nil {
+				t.Fatalf("%s/%s: auditor rejected engine output: %v", iname, mname, err)
+			}
+		}
+	}
+}
+
+// TestWeightedRejectsCorruption seeds one violation per invariant into a
+// valid weighted schedule and requires the auditor to reject each.
+func TestWeightedRejectsCorruption(t *testing.T) {
+	inst := meshInstance(t, 3, 8, 6, 23)
+
+	// Locate a DAG edge for the precedence corruptions.
+	var du, dw int32 = -1, -1
+	dir := 0
+	for i, d := range inst.DAGs {
+		for u := int32(0); u < int32(inst.N()) && du < 0; u++ {
+			if out := d.Out(u); len(out) > 0 {
+				du, dw, dir = u, out[0], i
+			}
+		}
+		if du >= 0 {
+			break
+		}
+	}
+	if du < 0 {
+		t.Fatal("no DAG edge found")
+	}
+	n := int32(inst.N())
+	ut := sched.TaskID(int32(dir)*n + du)
+	wt := sched.TaskID(int32(dir)*n + dw)
+
+	for _, model := range []*sched.MachineModel{nil, heteroModel(inst.M)} {
+		name := "uniform"
+		if model != nil {
+			name = "hetero"
+		}
+		corruptions := map[string]func(s *sched.WeightedSchedule){
+			"precedence": func(s *sched.WeightedSchedule) {
+				// Slide the successor's whole interval to start with its
+				// predecessor: duration stays right, order breaks.
+				d := s.Finish[wt] - s.Start[wt]
+				s.Start[wt] = s.Start[ut]
+				s.Finish[wt] = s.Start[wt] + d
+			},
+			"overlap": func(s *sched.WeightedSchedule) {
+				// Give two tasks on one processor the same start.
+				var a, b sched.TaskID = 0, 0
+				found := false
+				for x := 0; x < inst.NTasks() && !found; x++ {
+					for y := x + 1; y < inst.NTasks(); y++ {
+						vx, _ := inst.Split(sched.TaskID(x))
+						vy, _ := inst.Split(sched.TaskID(y))
+						if s.Assign[vx] == s.Assign[vy] {
+							a, b = sched.TaskID(x), sched.TaskID(y)
+							found = true
+							break
+						}
+					}
+				}
+				if !found {
+					t.Fatal("no two tasks share a processor")
+				}
+				d := s.Finish[b] - s.Start[b]
+				s.Start[b] = s.Start[a]
+				s.Finish[b] = s.Start[b] + d
+			},
+			"duration": func(s *sched.WeightedSchedule) {
+				s.Finish[ut]++
+				if s.Finish[ut] > s.Makespan {
+					s.Makespan = s.Finish[ut]
+				}
+			},
+			"makespan": func(s *sched.WeightedSchedule) {
+				s.Makespan++
+			},
+			"unscheduled": func(s *sched.WeightedSchedule) {
+				s.Start[ut] = -1
+			},
+		}
+		for cname, corrupt := range corruptions {
+			s := validWeighted(t, inst, 37, model)
+			if err := verify.Weighted(inst, s); err != nil {
+				t.Fatalf("%s/%s: pristine schedule rejected: %v", name, cname, err)
+			}
+			corrupt(s)
+			if err := verify.Weighted(inst, s); err == nil {
+				t.Fatalf("%s/%s: corrupted schedule accepted", name, cname)
+			}
+		}
+	}
+}
+
+// TestWeightedRejectsDelayViolation checks the auditor enforces the
+// model's communication gap, not just bare finish-to-start order: a
+// successor starting exactly at its cross-processor predecessor's finish
+// is legal on the uniform machine but illegal once delays are charged.
+func TestWeightedRejectsDelayViolation(t *testing.T) {
+	inst := meshInstance(t, 3, 8, 6, 29)
+	model := &sched.MachineModel{IntraDelay: 2, CrossDelay: 2}
+	s := validWeighted(t, inst, 41, model)
+
+	// Find a cross-processor DAG edge and close the gap to zero.
+	n := int32(inst.N())
+	for i, d := range inst.DAGs {
+		base := int32(i) * n
+		for u := int32(0); u < n; u++ {
+			ut := sched.TaskID(base + u)
+			for _, w := range d.Out(u) {
+				wt := sched.TaskID(base + w)
+				if s.Assign[u] == s.Assign[w] {
+					continue
+				}
+				dur := s.Finish[wt] - s.Start[wt]
+				s.Start[wt] = s.Finish[ut]
+				s.Finish[wt] = s.Start[wt] + dur
+				if err := verify.Weighted(inst, s); err == nil {
+					t.Fatal("gap-violating weighted schedule accepted")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no cross-processor edge in this draw")
+}
+
+func TestDifferentialWeighted(t *testing.T) {
+	instances := []*sched.Instance{
+		meshInstance(t, 3, 8, 6, 51),
+		syntheticInstance(t, 40, 4, 5, 52),
+		syntheticInstance(t, 25, 6, 3, 53),
+	}
+	for i, inst := range instances {
+		r := rng.New(uint64(i) ^ 0x99)
+		for trial := 0; trial < 4; trial++ {
+			assign := sched.RandomAssignment(inst.N(), inst.M, r)
+			weights := testWeights(inst.N(), uint64(trial)^0x77, 9)
+			prio := make(sched.Priorities, inst.NTasks())
+			for t2 := range prio {
+				prio[t2] = int64(r.Intn(50))
+			}
+			if err := verify.DifferentialWeighted(inst, assign, prio, weights); err != nil {
+				t.Fatalf("instance %d trial %d: %v", i, trial, err)
+			}
+		}
+	}
+	// Agreeing failures (short weights) are a match, not a divergence.
+	inst := instances[0]
+	assign := sched.RandomAssignment(inst.N(), inst.M, rng.New(5))
+	if err := verify.DifferentialWeighted(inst, assign, nil, sched.CellWeights{1}); err != nil {
+		t.Fatalf("agreeing failures reported as divergence: %v", err)
+	}
+}
