@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check ci race resilience procfault fuzz bench bench-dag bench-angleset bench-weighted bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
+.PHONY: check ci race resilience procfault fuzz bench bench-dag bench-angleset bench-weighted bench-comm bench-record benchstat bench-smoke verify service loadtest loadtest-smoke
 
 check:
 	$(GO) build ./... && $(GO) test ./...
@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTransportRequest$$' -fuzztime 10s ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzAnglesetExpand$$' -fuzztime 10s ./internal/sched
 	$(GO) test -run '^$$' -fuzz '^FuzzWeightedEquivalence$$' -fuzztime 10s ./internal/sched
+	$(GO) test -run '^$$' -fuzz '^FuzzFluxBatchCodec$$' -fuzztime 10s ./internal/procrun
 
 ci:
 	./ci.sh
@@ -94,6 +95,16 @@ bench-angleset:
 bench-weighted:
 	$(GO) test -run '^$$' -bench 'BenchmarkWeightedKernel' -benchmem -benchtime 2s -count 5 ./internal/sched
 
+# The batched flux-communication benchmarks (PR 10): the in-process
+# transport executor batched vs the per-message oracle (messages/op,
+# batches/op, bytes/op on the k=24/m=32 box, random-delay and RDP
+# schedules), then the multi-process runner at full scale (the
+# SWEEPSCHED_BENCH_COMM_FULL gate lifts the small CI default). Recorded
+# numbers live in BENCH_PR10.json.
+bench-comm:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolveParallelComm' -benchmem -count 5 ./internal/transport
+	SWEEPSCHED_BENCH_COMM_FULL=1 $(GO) test -run '^$$' -bench 'BenchmarkProcRunComm' -benchmem -timeout 3600s ./internal/procrun
+
 # Reproduce the numbers recorded in BENCH_PR1.json, BENCH_PR3.json and
 # BENCH_PR5.json.
 bench-record:
@@ -101,6 +112,7 @@ bench-record:
 	$(GO) test -run '^$$' -bench 'Benchmark(BuildInto|BuildAllFamily)/' -benchmem -count 5 ./internal/dag
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedule/' -count 5 .
 	$(GO) test -run '^$$' -bench 'Benchmark(ScheduleKernel|CommKernel)/' -benchmem -count 5 ./internal/sched
+	$(GO) test -run '^$$' -bench 'BenchmarkSolveParallelComm' -benchmem -count 5 ./internal/transport
 
 # One iteration of every benchmark in the repo — a compile-and-run smoke
 # pass (also part of ci.sh), not a measurement.

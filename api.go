@@ -630,8 +630,11 @@ func (p *Problem) SolveTransport(res *Result, cfg TransportConfig) (*TransportRe
 }
 
 // SolveTransportParallel runs the same solve with one goroutine per
-// processor of the schedule, exchanging angular fluxes over channels. Its
-// result is bitwise-identical to SolveTransport.
+// processor of the schedule, exchanging angular fluxes through the
+// batched interconnect (deadline-driven per-destination envelopes; set
+// TransportConfig.NoBatch for one transmission per message). Its result
+// is bitwise-identical to SolveTransport either way, and its
+// TransportResult.Comm reports the observed traffic.
 func (p *Problem) SolveTransportParallel(res *Result, cfg TransportConfig) (*TransportResult, error) {
 	return transport.SolveParallel(res.Schedule, cfg)
 }

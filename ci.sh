@@ -76,6 +76,18 @@ go run -race ./cmd/sweepsim -mesh tetonly -scale 0.02 -k 8 -m 8 \
 go run -race ./cmd/sweepbench -exp weighted -scale 0.02 -procs 2,8 \
     -speeds 1,2 -verify -verify-every 1
 
+echo "== batched-transport smoke: fault-injected solve under -race, batched default + -nobatch oracle =="
+# The batched flux interconnect is the default on every communicating
+# executor; the per-message oracle stays reachable behind -nobatch. Both
+# runs must report the recovered flux bitwise-identical to the serial
+# solve (the binary exits non-zero otherwise) with the same logical
+# message count — only transmissions and modeled bytes may differ.
+go run -race ./cmd/sweepsim -mesh tetonly -scale 0.02 -k 8 -m 8 \
+    -faults -drop 2 -delay 1 -dup 1 -verify
+go run -race ./cmd/sweepsim -mesh tetonly -scale 0.02 -k 8 -m 8 \
+    -faults -drop 2 -delay 1 -dup 1 -verify -nobatch
+go run -race ./cmd/sweepbench -exp comm -scale 0.02 -procs 2,8
+
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run '^$' -fuzz '^FuzzFromEdges$' -fuzztime "$FUZZTIME" ./internal/dag
 go test -run '^$' -fuzz '^FuzzBuildEquivalence$' -fuzztime "$FUZZTIME" ./internal/dag
@@ -85,5 +97,6 @@ go test -run '^$' -fuzz '^FuzzFaultPlan$' -fuzztime "$FUZZTIME" ./internal/fault
 go test -run '^$' -fuzz '^FuzzScheduleRequest$' -fuzztime "$FUZZTIME" ./internal/service
 go test -run '^$' -fuzz '^FuzzAnglesetExpand$' -fuzztime "$FUZZTIME" ./internal/sched
 go test -run '^$' -fuzz '^FuzzWeightedEquivalence$' -fuzztime "$FUZZTIME" ./internal/sched
+go test -run '^$' -fuzz '^FuzzFluxBatchCodec$' -fuzztime "$FUZZTIME" ./internal/procrun
 
 echo "ci: all green"

@@ -50,6 +50,18 @@ func ValidateNonNegative(flag string, n int) error {
 	return nil
 }
 
+// ValidateNoBatch rejects -nobatch when the invocation runs no
+// communicating transport executor: the flag selects the per-message
+// oracle interconnect (internal/comm), so on a run that never sends
+// flux between processors it would silently do nothing. hint names the
+// flag combination that makes it meaningful.
+func ValidateNoBatch(set, runsTransport bool, hint string) error {
+	if set && !runsTransport {
+		return fmt.Errorf("-nobatch only affects communicating transport runs; %s", hint)
+	}
+	return nil
+}
+
 // ParseSpeeds parses a comma-separated per-processor speeds pattern
 // ("1,2,4"). The pattern is cycled over the machine by the caller, so
 // its length need not match m. Empty means the uniform machine (nil).

@@ -81,6 +81,31 @@ func TestValidateAnglesets(t *testing.T) {
 	}
 }
 
+// TestValidateNoBatch pins the -nobatch contract: the flag is rejected
+// unless the invocation actually runs a communicating transport
+// executor, so a do-nothing -nobatch never passes silently.
+func TestValidateNoBatch(t *testing.T) {
+	cases := []struct {
+		name          string
+		set           bool
+		runsTransport bool
+		wantErr       bool
+	}{
+		{"unset_no_transport", false, false, false},
+		{"unset_with_transport", false, true, false},
+		{"set_with_transport", true, true, false},
+		{"set_without_transport", true, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateNoBatch(tc.set, tc.runsTransport, "add -faults to run the transport executor")
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidateNoBatch(%v, %v) = %v, wantErr=%v", tc.set, tc.runsTransport, err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestParseSpeeds(t *testing.T) {
 	cases := []struct {
 		name    string

@@ -1,0 +1,5 @@
+//go:build !race
+
+package comm
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package comm
+
+// raceEnabled mirrors internal/race.Enabled for tests: under the race
+// detector sync.Pool intentionally drops a fraction of Puts, so the
+// warm-pool zero-allocation contract cannot hold and is skipped.
+const raceEnabled = true

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sweepsched/internal/heuristics"
+	"sweepsched/internal/rng"
+	"sweepsched/internal/stats"
+	"sweepsched/internal/transport"
+)
+
+func init() {
+	Registry["comm"] = Comm
+}
+
+// Comm measures the batched flux interconnect against the per-message
+// oracle on the goroutine transport executor: the same schedule is
+// solved once with deadline-driven per-destination envelopes and once
+// with one transmission per logical message, per processor count. The
+// two runs must converge bitwise-identically (the experiment fails
+// otherwise), so the table isolates the interconnect cost — logical
+// messages and comm rounds are mode-invariant, transmissions and modeled
+// wire bytes are where batching pays. With Config.NoBatch only the
+// oracle runs and its raw traffic is reported.
+func Comm(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := NewWorkload(cfg, "tetonly", 8)
+	if err != nil {
+		return err
+	}
+	if cfg.NoBatch {
+		fmt.Fprintf(cfg.Out, "# comm: per-message oracle interconnect traffic (tetonly, k=8, -nobatch)\n")
+		tbl := stats.NewTable("m", "messages", "rounds", "frames", "bytes")
+		for _, m := range cfg.Procs {
+			res, _, err := commSolve(cfg, w, m, true)
+			if err != nil {
+				return err
+			}
+			c := res.Comm
+			tbl.AddRow(m, c.Messages, c.Rounds, c.Batches, c.Bytes)
+		}
+		return cfg.render(tbl)
+	}
+	fmt.Fprintf(cfg.Out, "# comm: batched flux envelopes vs per-message oracle (tetonly, k=8; modes converge bitwise-identically)\n")
+	tbl := stats.NewTable("m", "messages", "rounds", "envelopes", "env_bytes", "permsg_bytes", "msgs_per_tx", "byte_ratio")
+	for _, m := range cfg.Procs {
+		batched, phiB, err := commSolve(cfg, w, m, false)
+		if err != nil {
+			return err
+		}
+		plain, phiP, err := commSolve(cfg, w, m, true)
+		if err != nil {
+			return err
+		}
+		if err := commBitwise(phiB, phiP); err != nil {
+			return fmt.Errorf("comm: m=%d batched vs oracle: %w", m, err)
+		}
+		if batched.Comm.Messages != plain.Comm.Messages || batched.Comm.Rounds != plain.Comm.Rounds {
+			return fmt.Errorf("comm: m=%d logical traffic differs across modes: batched %d msgs/%d rounds, oracle %d/%d",
+				m, batched.Comm.Messages, batched.Comm.Rounds, plain.Comm.Messages, plain.Comm.Rounds)
+		}
+		b, p := batched.Comm, plain.Comm
+		tbl.AddRow(m, b.Messages, b.Rounds, b.Batches, b.Bytes, p.Bytes,
+			ratio(b.Messages, b.Batches), ratio(p.Bytes, b.Bytes))
+	}
+	return cfg.render(tbl)
+}
+
+// commSolve runs one transport solve for the processor sweep. The
+// assignment and priority draws are seeded from (Seed, m) alone, so the
+// batched and oracle runs for a given m execute the exact same schedule
+// — the interconnect mode consumes no randomness at all.
+func commSolve(cfg Config, w *Workload, m int, noBatch bool) (*transport.Result, []float64, error) {
+	inst, err := w.Instance(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	assign, err := w.Assignment(1, m, rng.New(cfg.Seed^0xba7c^uint64(m)))
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := heuristics.Run(heuristics.RandomDelaysPriority, inst, assign, rng.New(cfg.Seed^0x5eed^uint64(m)), cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcfg := transport.Config{
+		SigmaT:  1,
+		SigmaS:  0.5,
+		Source:  1,
+		Verify:  cfg.auditTrial(0),
+		NoBatch: noBatch,
+	}
+	if noBatch == cfg.NoBatch {
+		// Attach the collector to the mode being reported so the
+		// snapshot's comm.* counters match the table, not a mix of
+		// both runs.
+		tcfg.Collector = cfg.Collector
+	}
+	res, err := transport.SolveParallel(s, tcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Phi, nil
+}
+
+// commBitwise rejects any bit-level scalar-flux divergence between the
+// two interconnect modes.
+func commBitwise(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("flux length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return fmt.Errorf("flux diverges at cell %d: %x vs %x", i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+		}
+	}
+	return nil
+}
+
+// ratio renders a/b, guarding the empty-traffic case (m=1 or a schedule
+// with no cross edges sends nothing in either mode).
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return float64(a) / float64(b)
+}

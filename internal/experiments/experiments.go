@@ -68,6 +68,11 @@ type Config struct {
 	// WeightSeed, when non-zero, overrides the weighted experiment's
 	// cell-cost draw seed (default: derived from Seed).
 	WeightSeed uint64
+	// NoBatch runs the comm experiment on the per-message oracle
+	// interconnect only (transport.Config.NoBatch), reporting its raw
+	// traffic instead of the batched-vs-oracle comparison. Other
+	// experiments ignore it — they run no communicating executor.
+	NoBatch bool
 	// Anglesets > 0 runs the Figure 3 heuristic-ratio harness with
 	// angleset aggregation: directions are partitioned into about this
 	// many sign-homogeneous anglesets and priorities are computed once

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sweepsched/internal/comm"
 	"sweepsched/internal/lb"
 	"sweepsched/internal/obs"
 	"sweepsched/internal/sched"
@@ -83,8 +84,35 @@ type Engine struct {
 	needRebuild bool
 	report      RecoveryReport
 
+	// noBatch selects the frozen per-message interconnect (one channel
+	// delivery per logical cross message) instead of the deadline-driven
+	// envelope path. Both converge bitwise-identically with identical
+	// RecoveryReports; NoBatch is the differential oracle.
+	noBatch bool
+	// commBatches/commBytes accumulate physical transmissions on the
+	// batched path (the unbatched equivalents are derived from
+	// MessagesSent); see CommTraffic.
+	commBatches, commBytes int64
+
 	// col receives execution counters (nil = off).
 	col *obs.Collector
+}
+
+// SetNoBatch selects the per-message oracle interconnect (true) or the
+// batched envelopes (false, the default). Toggle before the first Sweep.
+func (e *Engine) SetNoBatch(on bool) { e.noBatch = on }
+
+// CommTraffic reports the engine's accumulated observed communication:
+// logical messages and barrier rounds (also in the RecoveryReport), plus
+// the physical transmissions and wire(-model) bytes that carried them —
+// envelopes when batching, one frame per message on the oracle path.
+func (e *Engine) CommTraffic() (messages, batches, bytes, rounds int64) {
+	messages = e.report.MessagesSent
+	rounds = e.report.CommRounds
+	if e.noBatch {
+		return messages, messages, comm.PerMessageWireBytes(int(messages)), rounds
+	}
+	return messages, e.commBatches, e.commBytes, rounds
 }
 
 // Observe attaches a stats collector: the engine reports epochs,
@@ -232,8 +260,20 @@ type workerAck struct {
 // runEpoch executes the schedule's not-done tasks barrier-synchronously
 // until completion, a crash, or a stall. It owns the worker goroutines for
 // the epoch and always tears them down before returning (no leaks on any
-// path, including cancellation).
+// path, including cancellation). The default interconnect is the batched
+// envelope path; SetNoBatch(true) selects the per-message oracle.
 func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
+	compute Compute, psi []float64, remaining int) (int, epochEnd, error) {
+	if e.noBatch {
+		return e.runEpochUnbatched(ctx, cur, done, compute, psi, remaining)
+	}
+	return e.runEpochBatched(ctx, cur, done, compute, psi, remaining)
+}
+
+// runEpochUnbatched is the per-message interconnect: every cross-processor
+// flux is one channel delivery the moment the injector releases it. Kept
+// verbatim as the differential oracle for the batched path.
+func (e *Engine) runEpochUnbatched(ctx context.Context, cur *sched.Schedule, done []bool,
 	compute Compute, psi []float64, remaining int) (int, epochEnd, error) {
 
 	e.report.Epochs++
@@ -261,6 +301,7 @@ func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
 		inbox[p] = make(chan Delivery, crossIn[p]+slack)
 	}
 	doneStart := append([]bool(nil), done...)
+	ctr := comm.NewCounters(e.col)
 
 	var spawned []int32
 	stepCh := make([]chan stepMsg, m)
@@ -339,6 +380,8 @@ func (e *Engine) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool,
 					e.sinceCkpt[a.proc] = append(e.sinceCkpt[a.proc], t)
 				}
 				e.report.MessagesSent += int64(a.sent)
+				ctr.Logical(int(a.sent))
+				ctr.PerMessage(int(a.sent))
 				if a.sent > stepMax {
 					stepMax = a.sent
 				}
@@ -454,6 +497,281 @@ func (e *Engine) worker(p int32, byStep map[int32][]sched.TaskID, doneStart []bo
 				a.sent++
 				for _, dl := range e.inj.OnSend(t, q, val, sm.global) {
 					inbox[dl.To] <- dl
+				}
+			}
+		}
+		reports <- a
+	}
+}
+
+// runEpochBatched is the deadline-driven envelope interconnect
+// (internal/comm). The injector still operates on logical messages at
+// produce time — a planned Drop/Delay/Duplicate hits exactly the message
+// it hits on the oracle path — but released deliveries accumulate in a
+// shared per-destination outbox tagged with their consumer's scheduled
+// step, and the coordinator flushes exactly the due envelopes at each
+// barrier. Delayed messages that mature are enqueued with an immediate
+// deadline, so they still arrive at their maturity step (maturing past
+// the consumer's step stalls the epoch exactly as unbatched). Logical
+// accounting (MessagesSent, CommRounds, every RecoveryReport field) is
+// bitwise-identical to the oracle; only commBatches/commBytes differ.
+func (e *Engine) runEpochBatched(ctx context.Context, cur *sched.Schedule, done []bool,
+	compute Compute, psi []float64, remaining int) (int, epochEnd, error) {
+
+	e.report.Epochs++
+	e.col.Counter("faults.epochs").Inc()
+	e.col.Gauge("faults.live_procs").Set(int64(e.rec.NLive()))
+	inst := e.inst
+	m := inst.M
+	assign := e.rec.Assign()
+
+	byStep, err := sched.GroupSteps(cur, assign, done)
+	if err != nil {
+		return remaining, endCompleted, fmt.Errorf("faults: internal: %w", err)
+	}
+	outbox := comm.NewOutbox(m)
+	// At most one envelope per destination is in flight per barrier (the
+	// outbox keeps a single open envelope per destination, and matured
+	// delayed messages ride it), so capacity 2 leaves margin.
+	inbox := make([]chan *comm.Batch, m)
+	for p := range inbox {
+		inbox[p] = make(chan *comm.Batch, 2)
+	}
+	doneStart := append([]bool(nil), done...)
+	ctr := comm.NewCounters(e.col)
+
+	var spawned []int32
+	stepCh := make([]chan stepMsg, m)
+	reports := make(chan workerAck, m)
+	var wg sync.WaitGroup
+	for p := int32(0); p < int32(m); p++ {
+		if !e.rec.Live(p) {
+			continue
+		}
+		stepCh[p] = make(chan stepMsg)
+		spawned = append(spawned, p)
+		wg.Add(1)
+		go func(p int32) {
+			defer wg.Done()
+			e.workerBatched(p, byStep[p], cur, doneStart, outbox, inbox, stepCh[p], reports, compute, psi)
+		}(p)
+	}
+	teardown := func() {
+		for _, p := range spawned {
+			close(stepCh[p])
+		}
+		wg.Wait()
+		e.inj.DiscardDelayed()
+		// Undelivered envelopes are moot — the next epoch reads completed
+		// producers' fluxes from the durable psi — so recycle them.
+		outbox.DiscardAll()
+		for p := range inbox {
+			for {
+				select {
+				case b := <-inbox[p]:
+					comm.PutBatch(b)
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+	flush := func(b *comm.Batch) {
+		e.commBatches++
+		e.commBytes += comm.BatchWireBytes(len(b.Items))
+		ctr.Envelope(len(b.Items))
+		inbox[b.To] <- b
+	}
+
+	for ls := int32(0); ls < int32(cur.Makespan); ls++ {
+		g := e.globalStep
+		var dying []int32
+		for _, p := range spawned {
+			if cs := e.inj.CrashStep(p); cs >= 0 && cs <= g {
+				dying = append(dying, p)
+			}
+		}
+		if len(dying) > 0 {
+			teardown()
+			remaining = e.applyCrashes(dying, done, remaining)
+			return remaining, endCrash, nil
+		}
+		if g-e.lastCkpt >= e.ckptEvery {
+			for p := range e.sinceCkpt {
+				e.sinceCkpt[p] = e.sinceCkpt[p][:0]
+			}
+			e.lastCkpt = g
+		}
+		// Matured delayed messages join their destination's envelope with
+		// an immediate deadline; the flush below ships every envelope whose
+		// earliest consumer (or matured item) is due at this step.
+		for _, dl := range e.inj.Matured(g) {
+			if e.rec.Live(dl.To) {
+				outbox.Add(dl.To, dl.Task, dl.Psi, ls)
+			}
+		}
+		outbox.FlushDue(ls, flush)
+		for _, p := range spawned {
+			select {
+			case stepCh[p] <- stepMsg{local: ls, global: g}:
+			case <-ctx.Done():
+				teardown()
+				return remaining, endCompleted, ctx.Err()
+			}
+		}
+		var stepMax int32
+		var feasErr error
+		feasProc := int32(-1)
+		stalled := false
+		unexplained := false
+		stallTask, stallMiss := sched.TaskID(-1), sched.TaskID(-1)
+		for range spawned {
+			select {
+			case a := <-reports:
+				for _, t := range a.completed {
+					done[t] = true
+					remaining--
+					e.sinceCkpt[a.proc] = append(e.sinceCkpt[a.proc], t)
+				}
+				e.report.MessagesSent += int64(a.sent)
+				ctr.Logical(int(a.sent))
+				if a.sent > stepMax {
+					stepMax = a.sent
+				}
+				if a.err != nil && (feasProc < 0 || a.proc < feasProc) {
+					feasErr, feasProc = a.err, a.proc
+				}
+				if a.stalled {
+					stalled = true
+					if stallTask < 0 || a.stallTask < stallTask {
+						stallTask, stallMiss = a.stallTask, a.stallMiss
+					}
+					if !e.inj.Explains(a.stallMiss, a.proc) {
+						unexplained = true
+					}
+				}
+			case <-ctx.Done():
+				teardown()
+				return remaining, endCompleted, ctx.Err()
+			}
+		}
+		e.report.CommRounds += int64(stepMax)
+		e.globalStep++
+		e.report.StepsExecuted++
+		if feasErr != nil {
+			teardown()
+			return remaining, endCompleted, feasErr
+		}
+		if stalled {
+			teardown()
+			if unexplained {
+				return remaining, endCompleted, fmt.Errorf(
+					"faults: task %d stalled on flux from task %d at step %d with no injected fault to blame: schedule is infeasible",
+					stallTask, stallMiss, g)
+			}
+			return remaining, endStall, nil
+		}
+	}
+	teardown()
+	return remaining, endCompleted, nil
+}
+
+// workerBatched is one live processor for one epoch on the envelope
+// interconnect: it drains whole envelopes instead of single deliveries,
+// and routes every cross-processor send through the injector at produce
+// time, appending released deliveries to the shared outbox tagged with
+// the consuming task's scheduled (local) step — NoDue when the consumer
+// was already durably done at epoch start.
+func (e *Engine) workerBatched(p int32, byStep map[int32][]sched.TaskID, cur *sched.Schedule,
+	doneStart []bool, outbox *comm.Outbox, inbox []chan *comm.Batch, stepCh <-chan stepMsg,
+	reports chan<- workerAck, compute Compute, psi []float64) {
+
+	inst := e.inst
+	assign := e.rec.Assign()
+	n := int32(inst.N())
+	recv := map[sched.TaskID]float64{}
+	localDone := map[sched.TaskID]bool{}
+	for sm := range stepCh {
+		for {
+			select {
+			case b := <-inbox[p]:
+				for _, it := range b.Items {
+					recv[it.Task] = it.Psi
+				}
+				comm.PutBatch(b)
+				continue
+			default:
+			}
+			break
+		}
+		a := workerAck{proc: p}
+		for _, t := range byStep[sm.local] {
+			v, i := inst.Split(t)
+			d := inst.DAGs[i]
+			base := sched.TaskID(int32(i) * n)
+			inflow := 0.0
+			preds := d.In(v)
+			ok := true
+			for _, u := range preds {
+				ut := base + sched.TaskID(u)
+				switch {
+				case doneStart[ut]:
+					inflow += psi[ut] // durable checkpoint, written in an earlier epoch
+				case assign[u] == p:
+					if !localDone[ut] {
+						a.err = fmt.Errorf("faults: proc %d task %d at step %d: local input %d not done", p, t, sm.global, ut)
+						ok = false
+					} else {
+						inflow += psi[ut]
+					}
+				default:
+					val, have := recv[ut]
+					if !have {
+						a.stalled, a.stallTask, a.stallMiss = true, t, ut
+						ok = false
+					} else {
+						inflow += val
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			if len(preds) > 0 {
+				inflow /= float64(len(preds))
+			}
+			val := compute(t, inflow)
+			psi[t] = val
+			localDone[t] = true
+			a.completed = append(a.completed, t)
+			for _, w := range d.Out(v) {
+				q := assign[w]
+				if q == p {
+					continue
+				}
+				a.sent++
+				// The receiver keys received fluxes by producing task, so a
+				// delivery released for this edge can satisfy every consumer
+				// of (t -> q): its deadline is the earliest such consumer's
+				// step. (With a Drop on a sibling edge the oracle's surviving
+				// per-message delivery serves both consumers; the envelope
+				// must arrive just as early.)
+				due := int32(comm.NoDue)
+				for _, w2 := range d.Out(v) {
+					if assign[w2] != q {
+						continue
+					}
+					wt := base + sched.TaskID(w2)
+					if !doneStart[wt] && cur.Start[wt] < due {
+						due = cur.Start[wt]
+					}
+				}
+				for _, dl := range e.inj.OnSend(t, q, val, sm.global) {
+					outbox.Add(dl.To, dl.Task, dl.Psi, due)
 				}
 			}
 		}

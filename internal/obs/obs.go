@@ -236,6 +236,18 @@ func (c *Collector) Snapshot() Snapshot {
 	return s
 }
 
+// CounterValue returns the named counter's value in this snapshot, or 0
+// if the snapshot does not carry it — the lookup executors use to read
+// merged worker metrics (e.g. comm.messages) back out of a report.
+func (s Snapshot) CounterValue(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
 // Merge combines two snapshots into one, matching metrics by name:
 // counters add, timers add both their counts and totals, and gauges keep
 // the maximum (a gauge in a merged report is a high-water mark across the

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"sweepsched/internal/comm"
 	"sweepsched/internal/faults"
 	"sweepsched/internal/lb"
 	"sweepsched/internal/obs"
@@ -114,6 +115,11 @@ type RunResult struct {
 	Residual   float64
 	Converged  bool
 	Report     *Report
+	// Comm is the orchestrator-observed traffic: logical messages and
+	// rounds (mirroring the Report), plus the physical flux transmissions
+	// and their wire bytes — per-destination step-frame envelopes by
+	// default, one fFlux frame per message under Config.NoBatch.
+	Comm transport.CommStats
 	// Merged folds every surviving worker's metrics snapshot into one
 	// report (obs.Snapshot.Merge). Workers record only deterministic
 	// counters, so Merged renders byte-identically across reruns of the
@@ -156,9 +162,26 @@ type orch struct {
 
 	psi      []float64
 	iter     int32
-	sweepLog [][]sched.TaskID // per rank: completions this sweep, for disk-authority rollback
-	pending  [][]faults.Delivery
-	lastStep [][]byte // per rank: the fStep frame in flight, for resend after a transient drop
+	sweepLog [][]sched.TaskID    // per rank: completions this sweep, for disk-authority rollback
+	pending  [][]faults.Delivery // NoBatch: deliveries awaiting per-message fFlux frames
+	lastStep [][]byte            // per rank: the fStep frame in flight, for resend after a transient drop
+	lastFlux [][]comm.Item       // NoBatch: per rank, this step's fFlux items, replayed on a resend
+
+	// Batched interconnect (default): deadline-driven per-destination
+	// envelopes that ride inside step frames, plus the epoch-start state
+	// their deadlines are computed from.
+	noBatch    bool
+	outbox     *comm.Outbox
+	stepBatch  []*comm.Batch // envelopes flushed for the step frame being built
+	epochStart []int32       // current epoch's start steps (envelope deadlines)
+	epochDone  []bool        // done set at epoch start
+	ctr        comm.Counters
+	commTx     int64 // physical flux transmissions (envelopes, or frames when NoBatch)
+	commBy     int64 // wire-model bytes across those transmissions
+
+	scratch []byte      // sweep/epoch payload builder, reused across frames
+	fluxBuf []byte      // fFlux frame payload builder (NoBatch)
+	ackBuf  []comm.Item // step-ack completions scratch, reused across acks
 }
 
 // Run executes the schedule's source iteration across spec.M real worker
@@ -226,6 +249,13 @@ func Run(ctx context.Context, s *sched.Schedule, spec ProblemSpec, cfg transport
 		sweepLog: make([][]sched.TaskID, inst.M),
 		pending:  make([][]faults.Delivery, inst.M),
 		lastStep: make([][]byte, inst.M),
+		lastFlux: make([][]comm.Item, inst.M),
+
+		noBatch:   cfg.NoBatch,
+		outbox:    comm.NewOutbox(inst.M),
+		stepBatch: make([]*comm.Batch, inst.M),
+		epochDone: make([]bool, inst.NTasks()),
+		ctr:       comm.NewCounters(opts.Collector),
 	}
 	if plan != nil {
 		o.report.Seed = plan.Seed
@@ -242,20 +272,17 @@ func Run(ctx context.Context, s *sched.Schedule, spec ProblemSpec, cfg transport
 		return nil, err
 	}
 	res.Merged = o.collectSnapshots()
-	o.report.Reconnects = counterValue(res.Merged, "proc.reconnects")
+	o.report.Reconnects = res.Merged.CounterValue("proc.reconnects")
 	o.sayGoodbye()
 	o.fillReport()
 	res.Report = &o.report
-	return res, nil
-}
-
-func counterValue(s obs.Snapshot, name string) int64 {
-	for _, c := range s.Counters {
-		if c.Name == name {
-			return c.Value
-		}
+	res.Comm = transport.CommStats{
+		Messages: o.report.MessagesSent,
+		Batches:  o.commTx,
+		Bytes:    o.commBy,
+		Rounds:   o.report.CommRounds,
 	}
-	return 0
+	return res, nil
 }
 
 func (o *orch) fillReport() {
@@ -488,9 +515,10 @@ func (o *orch) iterate(ctx context.Context) (*RunResult, error) {
 // beginSweep broadcasts the iteration's scalar flux and resets the
 // per-sweep completion logs.
 func (o *orch) beginSweep(phi []float64) error {
-	var e enc
+	e := enc{b: o.scratch[:0]}
 	e.i32(o.iter)
 	e.f64s(phi)
+	o.scratch = e.b
 	for p := range o.sweepLog {
 		o.sweepLog[p] = o.sweepLog[p][:0]
 	}
@@ -522,11 +550,7 @@ func (o *orch) broadcastAck(typ uint8, payload []byte) error {
 
 func ackError(payload []byte) string {
 	d := dec{b: payload}
-	nc := int(d.u32())
-	for i := 0; i < nc; i++ {
-		d.i32()
-		d.f64()
-	}
+	d.fluxItems(nil) // completions section
 	d.u8()
 	d.i32()
 	d.i32()
@@ -568,9 +592,21 @@ func (o *orch) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool, r
 	if _, err := sched.GroupSteps(cur, assign, done); err != nil {
 		return remaining, endCompleted, fmt.Errorf("procrun: internal: %w", err)
 	}
+	// Envelope deadlines are computed against the epoch-start schedule and
+	// done set: the consumers a flux must reach are exactly those not yet
+	// durable when the epoch's grouping was fixed.
+	o.epochStart = cur.Start
+	o.epochDone = append(o.epochDone[:0], done...)
 	defer func() {
 		for p := range o.pending {
 			o.pending[p] = o.pending[p][:0]
+		}
+		o.outbox.DiscardAll()
+		for p, b := range o.stepBatch {
+			if b != nil {
+				comm.PutBatch(b)
+				o.stepBatch[p] = nil
+			}
 		}
 		o.inj.DiscardDelayed()
 	}()
@@ -618,26 +654,52 @@ func (o *orch) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool, r
 			o.lastCkpt = g
 		}
 		for _, dl := range o.inj.Matured(g) {
-			if o.rec.Live(dl.To) {
-				o.pending[dl.To] = append(o.pending[dl.To], dl)
+			if !o.rec.Live(dl.To) {
+				continue
 			}
+			if o.noBatch {
+				o.pending[dl.To] = append(o.pending[dl.To], dl)
+			} else {
+				// A delayed message matures at this barrier on both paths:
+				// it joins the destination's envelope with the current step
+				// as its deadline, so the stall it would cause (or resolve)
+				// is identical to the per-message oracle's.
+				o.outbox.Add(dl.To, dl.Task, dl.Psi, ls)
+			}
+		}
+		if !o.noBatch {
+			o.outbox.FlushDue(ls, func(b *comm.Batch) { o.stepBatch[b.To] = b })
 		}
 
 		var lost []int32
 		var acked []*workerProc // workers that received this step's frame
 		for _, w := range live {
-			var e enc
+			e := enc{b: o.lastStep[w.rank][:0]}
 			e.i32(ls)
 			e.i32(g)
 			e.u8(ckpt)
-			q := o.pending[w.rank]
-			e.u32(uint32(len(q)))
-			for _, dl := range q {
-				e.i32(int32(dl.Task))
-				e.f64(dl.Psi)
+			if b := o.stepBatch[w.rank]; b != nil {
+				appendFluxBatch(&e, b.Items)
+				o.ctr.Envelope(len(b.Items))
+				o.commTx++
+				o.commBy += comm.BatchWireBytes(len(b.Items))
+				comm.PutBatch(b)
+				o.stepBatch[w.rank] = nil
+			} else {
+				e.u32(0)
 			}
-			o.pending[w.rank] = o.pending[w.rank][:0]
 			o.lastStep[w.rank] = e.b
+			if o.noBatch {
+				items := o.lastFlux[w.rank][:0]
+				for _, dl := range o.pending[w.rank] {
+					items = append(items, comm.Item{Task: dl.Task, Psi: dl.Psi})
+				}
+				o.lastFlux[w.rank] = items
+				o.pending[w.rank] = o.pending[w.rank][:0]
+				o.ctr.PerMessage(len(items))
+				o.commTx += int64(len(items))
+				o.commBy += comm.PerMessageWireBytes(len(items))
+			}
 			if err := o.sendStep(w); err != nil {
 				// The link died mid-epoch without a plan event: unplanned
 				// crash. Workers that did get the frame still run the step
@@ -663,15 +725,16 @@ func (o *orch) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool, r
 			}
 			var sent int32
 			for _, c := range ack.completed {
-				if !done[c.task] {
-					done[c.task] = true
+				if !done[c.Task] {
+					done[c.Task] = true
 					remaining--
 				}
-				o.psi[c.task] = c.psi
-				o.sweepLog[w.rank] = append(o.sweepLog[w.rank], c.task)
-				sent += o.route(c.task, c.psi, w.rank, assign, g)
+				o.psi[c.Task] = c.Psi
+				o.sweepLog[w.rank] = append(o.sweepLog[w.rank], c.Task)
+				sent += o.route(c.Task, c.Psi, w.rank, assign, g)
 			}
 			o.report.MessagesSent += int64(sent)
+			o.ctr.Logical(int(sent))
 			if sent > stepMax {
 				stepMax = sent
 			}
@@ -715,51 +778,67 @@ func (o *orch) runEpoch(ctx context.Context, cur *sched.Schedule, done []bool, r
 // worker: assignment, start steps, the done set, and the checkpointed
 // fluxes done tasks carry.
 func (o *orch) sendEpoch(cur *sched.Schedule, assign sched.Assignment, done []bool) error {
-	var e enc
+	e := enc{b: o.scratch[:0]}
 	e.i32(int32(o.report.Epochs))
 	e.u32(uint32(cur.Makespan))
 	e.i32s(assign)
 	e.i32s(cur.Start)
 	e.bools(done)
 	e.f64s(o.psi)
+	o.scratch = e.b
 	return o.broadcastAck(fEpoch, e.b)
 }
 
-// sendStep writes the worker's prepared step frame, riding out one
+// sendStep writes the worker's prepared step traffic, riding out one
 // transient reconnect (a resumed worker re-binds its socket and the
-// frame is retried — task execution is idempotent, so a duplicate
-// delivery of the same step is harmless).
+// frames are retried — task execution and flux merges are idempotent, so
+// a duplicate delivery of the same step is harmless).
 func (o *orch) sendStep(w *workerProc) error {
-	if err := w.conn.writeFrame(fStep, o.lastStep[w.rank], 5*time.Second); err == nil {
+	if err := o.writeStepFrames(w); err == nil {
 		return nil
 	}
 	if !o.awaitRejoin(w) {
 		return fmt.Errorf("procrun: rank %d link lost", w.rank)
 	}
+	return o.writeStepFrames(w)
+}
+
+// writeStepFrames ships one barrier's traffic to a worker. The batched
+// interconnect sends exactly one frame — any due envelope already rides
+// inside the prepared step frame. NoBatch precedes the (empty-section)
+// step frame with one fFlux frame per pending message, the per-message
+// cost the envelope path exists to amortize.
+func (o *orch) writeStepFrames(w *workerProc) error {
+	if o.noBatch {
+		items := o.lastFlux[w.rank]
+		for i := range items {
+			o.fluxBuf = encodeFluxBatch(o.fluxBuf, items[i:i+1])
+			if err := w.conn.writeFrame(fFlux, o.fluxBuf, 5*time.Second); err != nil {
+				return err
+			}
+		}
+	}
 	return w.conn.writeFrame(fStep, o.lastStep[w.rank], 5*time.Second)
 }
 
-type ackDeliv struct {
-	task sched.TaskID
-	psi  float64
-}
-
 type stepAck struct {
-	completed            []ackDeliv
+	completed            []comm.Item
 	stalled              bool
 	stallTask, stallMiss sched.TaskID
 	errMsg               string
 }
 
 // readAck collects one step acknowledgement, riding out one transient
-// reconnect by resending the in-flight step frame.
+// reconnect by resending the in-flight step frames. The returned
+// completions alias a scratch buffer reused on the next readAck, so the
+// caller must consume them first (the ack loop does).
 func (o *orch) readAck(w *workerProc) (*stepAck, error) {
 	typ, payload, err := o.readSkippingHeartbeats(w, o.opts.HeartbeatTimeout)
 	if err != nil {
 		if !o.awaitRejoin(w) {
 			return nil, err
 		}
-		if err := w.conn.writeFrame(fStep, o.lastStep[w.rank], 5*time.Second); err != nil {
+		if err := o.writeStepFrames(w); err != nil {
 			return nil, err
 		}
 		typ, payload, err = o.readSkippingHeartbeats(w, o.opts.HeartbeatTimeout)
@@ -772,9 +851,9 @@ func (o *orch) readAck(w *workerProc) (*stepAck, error) {
 	}
 	d := dec{b: payload}
 	a := &stepAck{}
-	nc := int(d.u32())
-	for i := 0; i < nc; i++ {
-		a.completed = append(a.completed, ackDeliv{task: sched.TaskID(d.i32()), psi: d.f64()})
+	a.completed = d.fluxItems(o.ackBuf)
+	if a.completed != nil {
+		o.ackBuf = a.completed
 	}
 	a.stalled = d.u8() == 1
 	a.stallTask = sched.TaskID(d.i32())
@@ -784,22 +863,48 @@ func (o *orch) readAck(w *workerProc) (*stepAck, error) {
 }
 
 // route fans a completed task's flux out along its cross-processor
-// edges, applying the fault plan per message. Deliveries land in pending
-// queues and ride the destination's next step frame — the consumer is
-// scheduled at a strictly later step, so visibility matches the
-// channel executor exactly.
+// edges, applying the fault plan per message — injection happens at
+// produce time in both interconnects, so a planned fault hits the same
+// logical message either way. NoBatch queues each surviving delivery for
+// its own fFlux frame next step; the batched path adds it to the
+// destination's envelope with a deadline, and the envelope rides a step
+// frame only when that deadline arrives.
 func (o *orch) route(t sched.TaskID, psi float64, from int32, assign sched.Assignment, g int32) int32 {
 	v, i := o.inst.Split(t)
+	out := o.inst.DAGs[i].Out(v)
+	base := sched.TaskID(int(i) * o.inst.N())
 	var sent int32
-	for _, u := range o.inst.DAGs[i].Out(v) {
+	for _, u := range out {
 		q := assign[u]
 		if q == from {
 			continue
 		}
 		sent++
+		if o.noBatch {
+			for _, dl := range o.inj.OnSend(t, q, psi, g) {
+				if o.rec.Live(dl.To) {
+					o.pending[dl.To] = append(o.pending[dl.To], dl)
+				}
+			}
+			continue
+		}
+		// Deadline = the earliest not-yet-durable consumer of this
+		// producer on q. Receivers key recv by producing task, so one
+		// surviving delivery serves every sibling edge — the deadline must
+		// honor all of them for Drop parity with the per-message oracle.
+		due := int32(comm.NoDue)
+		for _, u2 := range out {
+			if assign[u2] != q {
+				continue
+			}
+			ut := base + sched.TaskID(u2)
+			if !o.epochDone[ut] && o.epochStart[ut] < due {
+				due = o.epochStart[ut]
+			}
+		}
 		for _, dl := range o.inj.OnSend(t, q, psi, g) {
 			if o.rec.Live(dl.To) {
-				o.pending[dl.To] = append(o.pending[dl.To], dl)
+				o.outbox.Add(dl.To, dl.Task, dl.Psi, due)
 			}
 		}
 	}

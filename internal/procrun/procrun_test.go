@@ -110,10 +110,10 @@ func TestProcRunFaultFreeMatchesSerial(t *testing.T) {
 		t.Fatalf("fault-free run reported faults: %s", res.Report)
 	}
 	// Every worker contributed deterministic counters to the merged view.
-	if got := counterValue(res.Merged, "proc.sweeps"); got != int64(res.Iterations*spec.M) {
+	if got := res.Merged.CounterValue("proc.sweeps"); got != int64(res.Iterations*spec.M) {
 		t.Fatalf("merged proc.sweeps = %d, want %d", got, res.Iterations*spec.M)
 	}
-	if got := counterValue(res.Merged, "proc.tasks"); got != int64(s.Inst.NTasks()*res.Iterations) {
+	if got := res.Merged.CounterValue("proc.tasks"); got != int64(s.Inst.NTasks()*res.Iterations) {
 		t.Fatalf("merged proc.tasks = %d, want %d", got, s.Inst.NTasks()*res.Iterations)
 	}
 	if n := workerProcCount(t); n != 0 {
@@ -209,6 +209,12 @@ func TestProcRunMixedFaultsReproducible(t *testing.T) {
 	}
 	if aSnap != bSnap {
 		t.Fatalf("same plan, merged snapshots differ:\n%s\n%s", aSnap, bSnap)
+	}
+	// The comm.* series ride in the same deterministic snapshot: workers
+	// count received flux, so a fixed plan renders them byte-identically
+	// (the byte equality above covers them) and they must be present.
+	if a.Merged.CounterValue("comm.messages") == 0 || a.Merged.CounterValue("comm.batches") == 0 {
+		t.Fatalf("merged snapshot is missing comm.* counters:\n%s", aSnap)
 	}
 	serial, err := transport.Solve(s, cfg)
 	if err != nil {

@@ -2,6 +2,7 @@ package procrun
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"sweepsched/internal/comm"
 	"sweepsched/internal/sched"
 )
 
@@ -35,6 +37,7 @@ const (
 	fSnapReq                    // orch → worker: request metrics snapshot
 	fSnapshot                   // worker → orch: JSON obs.Snapshot
 	fBye                        // orch → worker: clean shutdown
+	fFlux                       // orch → worker: one flux batch (NoBatch mode: single-item frames)
 )
 
 // maxFrame bounds a frame payload; anything larger indicates a corrupt
@@ -68,23 +71,32 @@ func frameName(t uint8) string {
 		return "snapshot"
 	case fBye:
 		return "bye"
+	case fFlux:
+		return "flux"
 	}
 	return fmt.Sprintf("frame(%d)", t)
 }
 
 // wireConn is a framed connection with per-operation deadlines and a
 // write mutex, so the worker's heartbeat goroutine can interleave with
-// its frame replies without corrupting the stream.
+// its frame replies without corrupting the stream. Both directions reuse
+// grow-only scratch buffers — the hot exchange (a step frame and its ack
+// every barrier) allocates nothing once the buffers are warm.
 type wireConn struct {
 	c  net.Conn
 	wm sync.Mutex
+	wb []byte  // write scratch (header + payload in one Write), under wm
+	rb []byte  // read scratch; single reader per conn, reused every frame
+	hb [5]byte // header scratch (a stack array would escape through io.Reader)
 }
 
 func newWireConn(c net.Conn) *wireConn { return &wireConn{c: c} }
 
 func (w *wireConn) Close() error { return w.c.Close() }
 
-// writeFrame sends one frame under the write deadline.
+// writeFrame sends one frame under the write deadline. The header and
+// payload are assembled in the connection's retained scratch buffer and
+// shipped in a single Write (one syscall, no per-frame allocation).
 func (w *wireConn) writeFrame(typ uint8, payload []byte, timeout time.Duration) error {
 	w.wm.Lock()
 	defer w.wm.Unlock()
@@ -93,33 +105,39 @@ func (w *wireConn) writeFrame(typ uint8, payload []byte, timeout time.Duration) 
 			return err
 		}
 	}
-	hdr := make([]byte, 5, 5+len(payload))
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
-	hdr[4] = typ
-	_, err := w.c.Write(append(hdr, payload...))
+	w.wb = w.wb[:0]
+	w.wb = binary.LittleEndian.AppendUint32(w.wb, uint32(len(payload)))
+	w.wb = append(w.wb, typ)
+	w.wb = append(w.wb, payload...)
+	_, err := w.c.Write(w.wb)
 	return err
 }
 
-// readFrame receives one frame under the read deadline.
+// readFrame receives one frame under the read deadline. The returned
+// payload aliases the connection's scratch buffer: it is valid until the
+// next readFrame on this conn, so callers must finish decoding (dec
+// copies everything it returns) before reading again.
 func (w *wireConn) readFrame(timeout time.Duration) (uint8, []byte, error) {
 	if timeout > 0 {
 		if err := w.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 			return 0, nil, err
 		}
 	}
-	var hdr [5]byte
-	if _, err := io.ReadFull(w.c, hdr[:]); err != nil {
+	if _, err := io.ReadFull(w.c, w.hb[:]); err != nil {
 		return 0, nil, err
 	}
-	size := binary.LittleEndian.Uint32(hdr[:4])
+	size := binary.LittleEndian.Uint32(w.hb[:4])
 	if size > maxFrame {
 		return 0, nil, fmt.Errorf("procrun: frame of %d bytes exceeds limit", size)
 	}
-	payload := make([]byte, size)
+	if cap(w.rb) < int(size) {
+		w.rb = make([]byte, size)
+	}
+	payload := w.rb[:size]
 	if _, err := io.ReadFull(w.c, payload); err != nil {
 		return 0, nil, err
 	}
-	return hdr[4], payload, nil
+	return w.hb[4], payload, nil
 }
 
 // enc is an append-only payload builder.
@@ -264,4 +282,85 @@ func (d *dec) bools() []bool {
 	}
 	d.off += nb
 	return bs
+}
+
+// Flux-batch codec: the one layout every flux on the wire uses — the
+// deliveries section of a step frame, the completions section of an ack,
+// and the payload of a standalone fFlux frame (NoBatch mode). The section
+// is
+//
+//	u32  item count
+//	...  per item: i32 task, u64 IEEE-754 psi bits
+//
+// so comm.BatchHeaderBytes + comm.ItemBytes per item, little-endian.
+var (
+	// ErrTruncatedBatch reports a flux batch whose payload ends before the
+	// item count it declares.
+	ErrTruncatedBatch = errors.New("procrun: truncated flux batch")
+	// ErrOversizedBatch reports a flux batch declaring more items than a
+	// frame can carry, or carrying trailing bytes past its declared items.
+	ErrOversizedBatch = errors.New("procrun: oversized flux batch")
+)
+
+// maxBatchItems is the largest item count a single frame can hold.
+const maxBatchItems = (maxFrame - comm.BatchHeaderBytes) / comm.ItemBytes
+
+// appendFluxBatch appends one flux-batch section to the payload builder.
+func appendFluxBatch(e *enc, items []comm.Item) {
+	e.u32(uint32(len(items)))
+	for _, it := range items {
+		e.i32(int32(it.Task))
+		e.f64(it.Psi)
+	}
+}
+
+// encodeFluxBatch builds a standalone flux-batch payload into buf
+// (append-style: pass a retained buffer to avoid allocating).
+func encodeFluxBatch(buf []byte, items []comm.Item) []byte {
+	e := enc{b: buf[:0]}
+	appendFluxBatch(&e, items)
+	return e.b
+}
+
+// fluxItems decodes one flux-batch section into the reusable items slice.
+func (d *dec) fluxItems(into []comm.Item) []comm.Item {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > maxBatchItems || d.off+comm.ItemBytes*n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	items := into[:0]
+	for i := 0; i < n; i++ {
+		t := sched.TaskID(d.i32())
+		items = append(items, comm.Item{Task: t, Psi: d.f64()})
+	}
+	return items
+}
+
+// decodeFluxBatch decodes a standalone flux-batch payload, rejecting
+// malformed frames with the typed errors above: decode∘encode is the
+// identity, a short payload is ErrTruncatedBatch, and a declared count
+// beyond frame capacity — or bytes trailing the declared items — is
+// ErrOversizedBatch. into is reused when it has capacity.
+func decodeFluxBatch(b []byte, into []comm.Item) ([]comm.Item, error) {
+	if len(b) < comm.BatchHeaderBytes {
+		return nil, fmt.Errorf("%w: %d-byte payload has no item count", ErrTruncatedBatch, len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxBatchItems {
+		return nil, fmt.Errorf("%w: %d items exceeds frame capacity %d", ErrOversizedBatch, n, maxBatchItems)
+	}
+	want := comm.BatchHeaderBytes + comm.ItemBytes*int(n)
+	if len(b) < want {
+		return nil, fmt.Errorf("%w: %d items need %d bytes, have %d", ErrTruncatedBatch, n, want, len(b))
+	}
+	if len(b) > want {
+		return nil, fmt.Errorf("%w: %d bytes trail the %d declared items", ErrOversizedBatch, len(b)-want, n)
+	}
+	d := dec{b: b}
+	items := d.fluxItems(into)
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncatedBatch, d.err)
+	}
+	return items, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sweepsched/internal/comm"
 	"sweepsched/internal/faults"
 	"sweepsched/internal/obs"
 	"sweepsched/internal/sched"
@@ -47,6 +48,7 @@ func RunWorker(assignment string) int {
 		return 2
 	}
 	w := &worker{addr: parts[0], rank: int32(rank64), col: obs.New()}
+	w.ctr = comm.NewCounters(w.col)
 	if err := w.run(); err != nil {
 		fmt.Fprintf(os.Stderr, "sweepworker[%d]: %v\n", w.rank, err)
 		return 1
@@ -73,6 +75,11 @@ type worker struct {
 	readTimeout time.Duration
 	backoff     Backoff
 	col         *obs.Collector
+	ctr         comm.Counters // receive-side comm.* accounting (deterministic per plan)
+
+	fluxBuf []comm.Item // decode scratch for flux sections, reused per frame
+	compBuf []comm.Item // this step's completions, reused per step
+	ackb    []byte      // ack payload builder, reused per step
 
 	// sweep state (reset by fSweep)
 	iter     int32
@@ -183,6 +190,8 @@ func (w *worker) run() error {
 			reply, err = w.onSweep(payload)
 		case fEpoch:
 			reply, err = w.onEpoch(payload)
+		case fFlux:
+			reply, err = w.onFlux(payload)
 		case fStep:
 			reply, err = w.onStep(payload)
 		case fSnapReq:
@@ -337,25 +346,43 @@ func (w *worker) onEpoch(payload []byte) (func() error, error) {
 	return w.okReply(), nil
 }
 
+// onFlux merges one standalone flux frame (the NoBatch interconnect's
+// per-message transmissions) into the receive set. No reply: the step
+// frame that follows carries the ack for the whole barrier.
+func (w *worker) onFlux(payload []byte) (func() error, error) {
+	if w.recv == nil {
+		return nil, fmt.Errorf("procrun: flux before epoch")
+	}
+	items, err := decodeFluxBatch(payload, w.fluxBuf)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		w.recv[it.Task] = it.Psi
+	}
+	if items != nil {
+		w.fluxBuf = items
+	}
+	w.ctr.Logical(len(items))
+	w.ctr.PerMessage(len(items))
+	return func() error { return nil }, nil
+}
+
 // onStep runs one barrier step: durable checkpoint if flagged (before
 // executing, so the shard covers completions strictly before this
-// step), deliveries into the receive set, then this step's tasks.
+// step), the step frame's flux envelope into the receive set, then this
+// step's tasks.
 func (w *worker) onStep(payload []byte) (func() error, error) {
 	d := dec{b: payload}
 	local := d.i32()
 	global := d.i32()
 	ckpt := d.u8() == 1
-	nDeliv := int(d.u32())
-	type deliv struct {
-		task sched.TaskID
-		psi  float64
-	}
-	delivs := make([]deliv, 0, nDeliv)
-	for i := 0; i < nDeliv; i++ {
-		delivs = append(delivs, deliv{task: sched.TaskID(d.i32()), psi: d.f64()})
-	}
+	delivs := d.fluxItems(w.fluxBuf)
 	if d.err != nil {
 		return nil, d.err
+	}
+	if delivs != nil {
+		w.fluxBuf = delivs
 	}
 	if w.byStep == nil {
 		return nil, fmt.Errorf("procrun: step before epoch")
@@ -371,11 +398,14 @@ func (w *worker) onStep(payload []byte) (func() error, error) {
 		w.col.Counter("proc.checkpoints").Inc()
 	}
 	for _, dl := range delivs {
-		w.recv[dl.task] = dl.psi
+		w.recv[dl.Task] = dl.Psi
+	}
+	if n := len(delivs); n > 0 {
+		w.ctr.Logical(n)
+		w.ctr.Envelope(n)
 	}
 
-	var e enc
-	var completed []deliv
+	completed := w.compBuf[:0]
 	stalled := false
 	stallTask, stallMiss := sched.TaskID(-1), sched.TaskID(-1)
 	errMsg := ""
@@ -424,16 +454,14 @@ func (w *worker) onStep(payload []byte) (func() error, error) {
 		w.localDone[t] = true
 		w.logTasks = append(w.logTasks, t)
 		w.logPsi = append(w.logPsi, val)
-		completed = append(completed, deliv{task: t, psi: val})
+		completed = append(completed, comm.Item{Task: t, Psi: val})
 		w.col.Counter("proc.tasks").Inc()
 	}
+	w.compBuf = completed
 	w.col.Counter("proc.steps").Inc()
 
-	e.u32(uint32(len(completed)))
-	for _, c := range completed {
-		e.i32(int32(c.task))
-		e.f64(c.psi)
-	}
+	e := enc{b: w.ackb[:0]}
+	appendFluxBatch(&e, completed)
 	if stalled {
 		e.u8(1)
 	} else {
@@ -442,6 +470,7 @@ func (w *worker) onStep(payload []byte) (func() error, error) {
 	e.i32(int32(stallTask))
 	e.i32(int32(stallMiss))
 	e.str(errMsg)
+	w.ackb = e.b
 	return func() error { return w.current().writeFrame(fAck, e.b, 5*time.Second) }, nil
 }
 

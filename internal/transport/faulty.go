@@ -39,6 +39,7 @@ func SolveFaultTolerant(ctx context.Context, s *sched.Schedule, cfg Config, plan
 		return nil, nil, err
 	}
 	eng.Observe(cfg.Collector)
+	eng.SetNoBatch(cfg.NoBatch)
 	if cfg.Verify {
 		eng.SetVerify(true)
 	}
@@ -63,6 +64,7 @@ func SolveFaultTolerant(ctx context.Context, s *sched.Schedule, cfg Config, plan
 		}
 	}
 	res.Phi = phi
+	res.Comm.Messages, res.Comm.Batches, res.Comm.Bytes, res.Comm.Rounds = eng.CommTraffic()
 	if cfg.verifyOn() {
 		// Cross-check the run's accumulated accounting before reporting it.
 		if err := eng.Audit(); err != nil {

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sync"
 
+	"sweepsched/internal/comm"
 	"sweepsched/internal/obs"
 	"sweepsched/internal/sched"
 	"sweepsched/internal/verify"
@@ -52,6 +53,14 @@ type Config struct {
 	// reschedule and the final accounting. The SWEEPSCHED_VERIFY
 	// environment variable forces it on.
 	Verify bool
+	// NoBatch disables the batched flux interconnect on every
+	// communicating executor (SolveParallel, SolveFaultTolerant, and the
+	// multi-process runner), sending one transmission per logical
+	// cross-processor message instead of deadline-driven per-destination
+	// envelopes (internal/comm). The unbatched path is the differential
+	// oracle: both modes converge bitwise-identically; only the
+	// transmission counts and bytes differ.
+	NoBatch bool
 	// Collector, when non-nil, receives solve counters (iterations) and,
 	// on the fault-tolerant path, the engine's epoch/recovery series.
 	Collector *obs.Collector
@@ -101,12 +110,34 @@ func (c Config) validateFor(inst *sched.Instance) error {
 	return nil
 }
 
+// CommStats is the communication the executor that produced a Result
+// actually performed — observed traffic, not schedule-derived analytics
+// (sched.C1/C2 describe the schedule; these describe the run, which may
+// differ under recovery rescheduling).
+type CommStats struct {
+	// Messages counts logical cross-processor flux messages sent, one per
+	// cross edge per sweep. Identical batched or unbatched.
+	Messages int64
+	// Batches counts physical transmissions carrying them: envelopes in
+	// batched mode, one per message unbatched.
+	Batches int64
+	// Bytes is the wire(-model) cost of those transmissions
+	// (comm.BatchWireBytes / comm.PerMessageWireBytes).
+	Bytes int64
+	// Rounds is Σ_step max_p(messages sent by p at that step) — the
+	// observed analogue of the paper's C2 metric.
+	Rounds int64
+}
+
 // Result is a converged (or iteration-capped) solve.
 type Result struct {
 	Phi        []float64 // scalar flux per cell
 	Iterations int
 	Residual   float64 // final max |Δφ|
 	Converged  bool
+	// Comm reports observed communication. Zero for the serial Solve
+	// (it performs none) and for executors that predate the counters.
+	Comm CommStats
 }
 
 // CellBalance returns the per-task cell-balance closure every executor
@@ -280,6 +311,13 @@ func SolveParallel(s *sched.Schedule, cfg Config) (*Result, error) {
 // coordinator observes ctx at every barrier interaction, so cancellation
 // returns ctx.Err() within one barrier step, with every worker goroutine
 // joined and no blocked channel sends left behind.
+//
+// By default cross-processor fluxes ride deadline-driven per-destination
+// envelopes (internal/comm): a sender's flux is held in the destination's
+// open envelope until the barrier before its earliest consumer's step,
+// so one transmission carries many messages. Config.NoBatch selects the
+// frozen per-message interconnect instead — the differential oracle the
+// batched path is tested against. Both are bitwise-identical to Solve.
 func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -294,6 +332,18 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 			return nil, fmt.Errorf("transport: schedule failed the audit: %w", err)
 		}
 	}
+	if cfg.NoBatch {
+		return solveParallelUnbatched(ctx, s, cfg)
+	}
+	return solveParallelBatched(ctx, s, cfg)
+}
+
+// solveParallelUnbatched is the per-message interconnect: one channel
+// send per logical cross-processor flux, delivered the step it is
+// produced. Kept verbatim (plus traffic accounting) as the oracle for
+// the batched path — never deleted.
+func solveParallelUnbatched(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, error) {
+	inst := s.Inst
 	m := inst.M
 	n := int32(inst.N())
 	nt := inst.NTasks()
@@ -314,6 +364,7 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 	}
 	type procAck struct {
 		proc int32
+		sent int32 // cross-processor messages sent this step
 		err  error
 	}
 	acks := make(chan procAck, m)
@@ -347,6 +398,7 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 					break
 				}
 				var stepErr error
+				var sent int32
 				for _, t := range perProcStep[p][st] {
 					v, i := inst.Split(t)
 					d := inst.DAGs[i]
@@ -381,10 +433,11 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 					for _, w := range d.Out(v) {
 						if qp := s.Assign[w]; qp != p {
 							inbox[qp] <- fluxMsg{task: sched.TaskID(base + v), psi: val}
+							sent++
 						}
 					}
 				}
-				acks <- procAck{proc: p, err: stepErr}
+				acks <- procAck{proc: p, sent: sent, err: stepErr}
 			}
 		}(int32(p))
 	}
@@ -393,7 +446,9 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 	// barrier sends one control value to every worker and collects every
 	// ack — even after an error, so no worker is abandoned mid-step — and
 	// reports the lowest-processor error for determinism. Cancellation is
-	// observed at every channel interaction.
+	// observed at every channel interaction. Acks also carry each worker's
+	// cross-message count, folded into Result.Comm (Rounds adds the step's
+	// per-processor maximum, the observed analogue of C2).
 	barrier := func(st int32) error {
 		for p := 0; p < m; p++ {
 			select {
@@ -404,9 +459,14 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 		}
 		var firstErr error
 		errProc := int32(-1)
+		var stepMax int32
 		for p := 0; p < m; p++ {
 			select {
 			case a := <-acks:
+				res.Comm.Messages += int64(a.sent)
+				if a.sent > stepMax {
+					stepMax = a.sent
+				}
 				if a.err != nil && (errProc < 0 || a.proc < errProc) {
 					firstErr, errProc = a.err, a.proc
 				}
@@ -414,6 +474,7 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 				return ctx.Err()
 			}
 		}
+		res.Comm.Rounds += int64(stepMax)
 		return firstErr
 	}
 	runIteration := func() error {
@@ -448,6 +509,228 @@ func SolveParallelCtx(ctx context.Context, s *sched.Schedule, cfg Config) (*Resu
 	if solveErr != nil {
 		return nil, solveErr
 	}
+	// Per-message cost model: one transmission per logical message.
+	res.Comm.Batches = res.Comm.Messages
+	res.Comm.Bytes = comm.PerMessageWireBytes(int(res.Comm.Messages))
+	ctr := comm.NewCounters(cfg.Collector)
+	ctr.Logical(int(res.Comm.Messages))
+	ctr.PerMessage(int(res.Comm.Messages))
+	res.Phi = phi
+	return res, nil
+}
+
+// solveParallelBatched is the deadline-driven envelope interconnect. The
+// workers share one comm.Outbox: a completed task's flux is appended to
+// the destination processor's open envelope tagged with the consumer's
+// scheduled start step, and the barrier coordinator — the only moment all
+// senders are quiescent — flushes exactly the envelopes whose earliest
+// deadline is the step about to open. One transmission thus carries every
+// flux the destination needs next step, accumulated across all senders
+// and all prior steps. The flux values, their production order per
+// processor, and Result.Comm.{Messages,Rounds} are bitwise-identical to
+// the unbatched oracle; only Batches/Bytes (the transmission count and
+// wire cost) differ.
+func solveParallelBatched(ctx context.Context, s *sched.Schedule, cfg Config) (*Result, error) {
+	inst := s.Inst
+	m := inst.M
+	n := int32(inst.N())
+	nt := inst.NTasks()
+
+	perProcStep, err := sched.GroupSteps(s, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	outbox := comm.NewOutbox(m)
+	// At most one envelope is in flight per destination per barrier (the
+	// outbox holds a single open envelope per destination), so capacity 2
+	// keeps the coordinator's flush nonblocking with margin.
+	inbox := make([]chan *comm.Batch, m)
+	stepCh := make([]chan int32, m)
+	for p := 0; p < m; p++ {
+		inbox[p] = make(chan *comm.Batch, 2)
+		stepCh[p] = make(chan int32)
+	}
+	type procAck struct {
+		proc int32
+		sent int32 // logical cross-processor messages produced this step
+		err  error
+	}
+	acks := make(chan procAck, m)
+
+	phi := make([]float64, inst.N())
+	psi := make([]float64, nt) // shared: disjoint per-task writes, barrier-separated reads
+
+	var wg sync.WaitGroup
+	for p := 0; p < m; p++ {
+		wg.Add(1)
+		go func(p int32) {
+			defer wg.Done()
+			compute := CellBalance(inst, cfg, phi)
+			recvPsi := map[sched.TaskID]float64{}
+			drain := func() {
+				for {
+					select {
+					case b := <-inbox[p]:
+						for _, it := range b.Items {
+							recvPsi[it.Task] = it.Psi
+						}
+						comm.PutBatch(b)
+						continue
+					default:
+					}
+					break
+				}
+			}
+			for st := range stepCh[p] {
+				if st < 0 {
+					// New iteration: reset received fluxes (and, defensively,
+					// recycle any envelope still in the channel).
+					drain()
+					for k := range recvPsi {
+						delete(recvPsi, k)
+					}
+					acks <- procAck{proc: p}
+					continue
+				}
+				// The coordinator flushed every due envelope before opening
+				// this step, so a nonblocking drain sees them all.
+				drain()
+				var stepErr error
+				var sent int32
+				for _, t := range perProcStep[p][st] {
+					v, i := inst.Split(t)
+					d := inst.DAGs[i]
+					base := int32(i) * n
+					inflow := 0.0
+					preds := d.In(v)
+					ok := true
+					for _, u := range preds {
+						ut := sched.TaskID(base + u)
+						var up float64
+						if s.Assign[u] == p {
+							up = psi[ut] // written by this goroutine earlier
+						} else {
+							val, have := recvPsi[ut]
+							if !have {
+								stepErr = fmt.Errorf("transport: proc %d missing flux for task %d at step %d", p, ut, st)
+								ok = false
+								break
+							}
+							up = val
+						}
+						inflow += up
+					}
+					if !ok {
+						break
+					}
+					if len(preds) > 0 {
+						inflow /= float64(len(preds))
+					}
+					val := compute(t, inflow)
+					psi[base+v] = val
+					for _, w := range d.Out(v) {
+						if qp := s.Assign[w]; qp != p {
+							// One logical message per cross edge, due at the
+							// consumer's scheduled start step.
+							outbox.Add(qp, sched.TaskID(base+v), val, s.Start[base+w])
+							sent++
+						}
+					}
+				}
+				acks <- procAck{proc: p, sent: sent, err: stepErr}
+			}
+		}(int32(p))
+	}
+
+	res := &Result{}
+	ctr := comm.NewCounters(cfg.Collector)
+	flush := func(b *comm.Batch) {
+		res.Comm.Batches++
+		res.Comm.Bytes += comm.BatchWireBytes(len(b.Items))
+		ctr.Envelope(len(b.Items))
+		inbox[b.To] <- b
+	}
+	barrier := func(st int32) error {
+		if st >= 0 {
+			// All workers are quiescent between barriers: ship exactly the
+			// envelopes whose earliest consumer runs at the opening step.
+			outbox.FlushDue(st, flush)
+		}
+		for p := 0; p < m; p++ {
+			select {
+			case stepCh[p] <- st:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var firstErr error
+		errProc := int32(-1)
+		var stepMax int32
+		for p := 0; p < m; p++ {
+			select {
+			case a := <-acks:
+				res.Comm.Messages += int64(a.sent)
+				if a.sent > stepMax {
+					stepMax = a.sent
+				}
+				if a.err != nil && (errProc < 0 || a.proc < errProc) {
+					firstErr, errProc = a.err, a.proc
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		res.Comm.Rounds += int64(stepMax)
+		return firstErr
+	}
+	runIteration := func() error {
+		if err := barrier(-1); err != nil { // reset received fluxes
+			return err
+		}
+		for st := int32(0); st < int32(s.Makespan); st++ {
+			if err := barrier(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var solveErr error
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		if err := runIteration(); err != nil {
+			solveErr = err
+			break
+		}
+		res.Residual = UpdatePhi(inst, psi, phi, cfg)
+		res.Iterations = iter
+		if res.Residual < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	for p := 0; p < m; p++ {
+		close(stepCh[p])
+	}
+	wg.Wait()
+	// Every cross edge's consumer starts before Makespan, so a completed
+	// iteration leaves the outbox empty; on an error or cancellation path,
+	// recycle whatever is still open or in flight.
+	outbox.DiscardAll()
+	for p := 0; p < m; p++ {
+		for {
+			select {
+			case b := <-inbox[p]:
+				comm.PutBatch(b)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	ctr.Logical(int(res.Comm.Messages))
 	res.Phi = phi
 	return res, nil
 }

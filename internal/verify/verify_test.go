@@ -72,7 +72,7 @@ func validSchedule(t *testing.T, inst *sched.Instance, seed uint64) *sched.Sched
 // production counters.
 func TestScheduleAcceptsAllSchedulers(t *testing.T) {
 	insts := []*sched.Instance{
-		meshInstance(t, 3, 4, 4, 1),  // jittered Kuhn box
+		meshInstance(t, 3, 4, 4, 1),       // jittered Kuhn box
 		syntheticInstance(t, 60, 3, 5, 2), // random layered DAGs
 	}
 	algs := []heuristics.Name{
